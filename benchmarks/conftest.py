@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+scaled-down operation count and prints the same rows/series the paper
+reports.  Absolute numbers belong to the authors' hardware; the
+assertions check the *shape* — who wins, by roughly what factor, where
+crossovers fall (see EXPERIMENTS.md).
+
+Benchmarks execute their experiment exactly once (``pedantic`` with one
+round): the experiment itself is a deterministic simulation, so
+repeating it adds wall-clock time without adding information.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _once

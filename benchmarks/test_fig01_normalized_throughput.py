@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 1 (normalized 256 B probe throughput)."""
+
+from repro.experiments import fig01
+
+
+def test_fig01_normalized_throughput(once):
+    rows = once(fig01.run, ops_per_thread=300)
+    print()
+    print(fig01.format_rows(rows))
+    # Shape assertions (paper, Section 1 / Figure 1):
+    for row in rows:
+        # Synchronous RDMA is a small fraction of local performance.
+        assert row.normalized["one-sided"] < 0.2
+        assert row.normalized["two-sided"] <= row.normalized["one-sided"] * 1.5
+        # Async is an order of magnitude above sync.
+        assert row.normalized["async"] > 3 * row.normalized["one-sided"]
+        # Cowbird bridges most of the remaining gap.
+        assert row.normalized["cowbird"] > row.normalized["async"]
+        assert row.normalized["cowbird"] > 0.5
+        # Batching disabled sits between async RDMA and full Cowbird.
+        assert row.normalized["cowbird-nb"] >= row.normalized["async"] * 0.8

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2 (per-read compute-side CPU time)."""
+
+import pytest
+
+from repro.experiments import fig02
+
+
+def test_fig02_cpu_breakdown(once):
+    breakdown = once(fig02.run)
+    print()
+    print(fig02.format_breakdown(breakdown))
+    # Paper: RDMA post+poll ~600-700 ns of compute-side CPU.
+    assert 550 <= breakdown.rdma_total_ns <= 720
+    # Cowbird is an order of magnitude cheaper (a few local stores).
+    assert breakdown.speedup >= 10
+    # The simulated verbs layer charges exactly the modelled breakdown.
+    assert breakdown.rdma_measured_ns == pytest.approx(
+        breakdown.rdma_total_ns, rel=0.05
+    )
+    # Measured Cowbird cost stays within tens of nanoseconds.
+    assert breakdown.cowbird_measured_ns < 100

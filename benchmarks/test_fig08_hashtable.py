@@ -1,0 +1,60 @@
+"""Benchmark: regenerate Figure 8 (hash-table MOPS, 4 panels x 6 systems)."""
+
+from repro.experiments import fig08
+
+
+def get(cells, record_bytes, system, threads):
+    return next(
+        c for c in cells
+        if c.record_bytes == record_bytes and c.system == system
+        and c.threads == threads
+    )
+
+
+def test_fig08_hashtable(once):
+    cells = once(
+        fig08.run,
+        record_sizes=(8, 64, 256, 512),
+        thread_counts=(1, 4, 16),
+        ops_per_thread=300,
+    )
+    print()
+    print(fig08.format_cells(cells))
+    for size in (8, 64, 256, 512):
+        for threads in (1, 4, 16):
+            sync2 = get(cells, size, "two-sided", threads).throughput_mops
+            sync1 = get(cells, size, "one-sided", threads).throughput_mops
+            async_ = get(cells, size, "async", threads).throughput_mops
+            nobatch = get(cells, size, "cowbird-nb", threads).throughput_mops
+            cowbird = get(cells, size, "cowbird", threads).throughput_mops
+            local = get(cells, size, "local", threads).throughput_mops
+            # Paper ordering: two-sided <= one-sided < async < cowbird <= local.
+            assert sync2 <= sync1 * 1.2
+            assert sync1 < async_
+            assert cowbird > async_
+            assert cowbird <= local * 1.05
+        # Asynchrony is an order of magnitude more efficient (paper
+        # Section 8.1 point 1).  The gap is widest at low thread counts;
+        # at 16 threads sync's embarrassing parallelism compresses it.
+        assert (
+            get(cells, size, "async", 1).throughput_mops
+            > 4 * get(cells, size, "one-sided", 1).throughput_mops
+        )
+        assert (
+            get(cells, size, "async", 16).throughput_mops
+            > 2 * get(cells, size, "one-sided", 16).throughput_mops
+        )
+    # Batching win over async RDMA grows with thread count; at 16
+    # threads it approaches the paper's "up to 3.5x faster than RDMA".
+    win = (
+        get(cells, 64, "cowbird", 16).throughput_mops
+        / get(cells, 64, "async", 16).throughput_mops
+    )
+    assert win > 2.0
+    # Bandwidth ceiling binds large records at 16 threads: throughput
+    # stays below the wire-rate line, and within reach of it.
+    for size in (256, 512):
+        ceiling = fig08.bandwidth_ceiling_mops(size)
+        top = get(cells, size, "cowbird", 16).throughput_mops
+        assert top <= ceiling * 1.05
+        assert top > 0.5 * ceiling

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 9 (FASTER YCSB throughput, 2 panels)."""
+
+from repro.experiments import fig09
+
+
+def get(results, value_bytes, system, threads):
+    return next(
+        r for r in results
+        if r.value_bytes == value_bytes and r.system == system
+        and r.threads == threads
+    )
+
+
+def test_fig09_faster_ycsb(once):
+    results = once(
+        fig09.run,
+        thread_counts=(1, 4, 16),
+        record_count=12_000,
+        ops_per_thread=250,
+    )
+    print()
+    print(fig09.format_results(results))
+    for value_bytes in (64, 512):
+        for threads in (1, 4, 16):
+            ssd = get(results, value_bytes, "ssd", threads).throughput_mops
+            sync = get(results, value_bytes, "one-sided", threads).throughput_mops
+            cowbird = get(results, value_bytes, "cowbird", threads).throughput_mops
+            p4 = get(results, value_bytes, "cowbird-p4", threads).throughput_mops
+            local = get(results, value_bytes, "local", threads).throughput_mops
+            # Remote memory beats the SSD by at least ~2.3x (paper).
+            assert cowbird > 2.3 * ssd
+            # The two engine variants perform similarly.
+            assert 0.5 < p4 / cowbird < 2.0
+            # Cowbird tracks local memory (paper: within 8%).
+            assert cowbird > 0.8 * local
+            assert cowbird <= local * 1.05
+        # Cowbird's speedup over the SSD reaches the paper's 12-84x
+        # band once threads scale (the SSD is IOPS-flat).
+        assert (
+            get(results, value_bytes, "cowbird", 16).throughput_mops
+            / get(results, value_bytes, "ssd", 16).throughput_mops
+            > 10
+        )

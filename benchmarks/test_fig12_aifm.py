@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 12 (8 B uniform reads: Cowbird vs AIFM)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_aifm(once):
+    results = once(fig12.run, ops_per_thread=300)
+    print()
+    print(fig12.format_results(results))
+    # Paper: Cowbird achieves an order of magnitude (up to 71x) higher
+    # throughput across thread counts.
+    speedup = fig12.max_speedup(results)
+    assert speedup >= 20
+    threads = sorted({r.threads for r in results})
+    for t in threads:
+        cowbird = next(
+            r for r in results if r.system == "cowbird" and r.threads == t
+        )
+        aifm = next(r for r in results if r.system == "aifm" and r.threads == t)
+        assert cowbird.throughput_mops > 8 * aifm.throughput_mops
+    # AIFM's IOKernel is a global serialization point: aggregate
+    # throughput saturates instead of scaling with threads.
+    aifm_by_threads = {
+        r.threads: r.throughput_mops for r in results if r.system == "aifm"
+    }
+    assert aifm_by_threads[16] < 4 * aifm_by_threads[1]

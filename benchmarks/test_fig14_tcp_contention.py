@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 14 (contending TCP bandwidth)."""
+
+from repro.experiments import fig14
+
+
+def get(rows, system, threads):
+    return next(
+        r for r in rows if r.system == system and r.threads == threads
+    )
+
+
+def test_fig14_tcp_contention(once):
+    rows = once(fig14.run, ops_per_thread=200)
+    print()
+    print(fig14.format_rows(rows))
+    baseline = get(rows, "none", 1).tcp_gbps
+    assert baseline > 20.0  # TCP alone saturates the 25 Gb/s path
+    for threads in (1, 2, 4, 8):
+        spot = get(rows, "cowbird", threads).tcp_gbps
+        p4 = get(rows, "cowbird-p4", threads).tcp_gbps
+        none = get(rows, "none", threads).tcp_gbps
+        # Cowbird-Spot's batched protocol has a small footprint.
+        assert spot > 0.70 * none
+        # Cowbird-P4's unbatched per-record packets cost real bandwidth
+        # (paper: up to ~30%; our shared-segment surrogate is harsher
+        # at high thread counts — see EXPERIMENTS.md).
+        assert p4 < spot
+    # The P4 overhead grows with application threads.
+    assert get(rows, "cowbird-p4", 8).tcp_gbps < get(rows, "cowbird-p4", 1).tcp_gbps
+    # At low thread counts the P4 cost is in the paper's ~15-30% band.
+    assert get(rows, "cowbird-p4", 1).tcp_gbps > 0.6 * baseline

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (spot pricing + cost analysis)."""
+
+import pytest
+
+from repro.experiments import tab01
+
+
+def test_tab1_pricing(once):
+    result = once(tab01.run)
+    print()
+    print(result["rendered"])
+    # Section 2.2: "the cost can be reduced by up to 90%".
+    assert result["max_discount"] == pytest.approx(0.90, abs=0.01)
+    assert len(result["rows"]) == 3
+    # Offload is cost-positive on every provider, more so when shared.
+    for provider, gain in result["efficiency_gain_single_node"].items():
+        assert gain > 0.5
+        assert result["efficiency_gain_four_nodes"][provider] > gain

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 5 (Tofino data-plane resource usage)."""
+
+import pytest
+
+from repro.experiments import tab05
+
+
+def test_tab5_resources(once):
+    result = once(tab05.run)
+    print()
+    print("Table 5: Cowbird-P4 data-plane resources (32-port L3 Tofino)")
+    for key, value in result["estimated"].items():
+        print(f"  {key:<20s} {value}")
+    # The pipeline model reproduces the paper's row exactly.
+    assert result["estimated"] == result["paper"]
+    assert result["fits_tofino"]
+    # Without the baseline L3 program the footprint shrinks, leaving
+    # room for concurrent instances (Section 8.4's point).
+    assert result["cowbird_only"]["sram_kb"] < result["estimated"]["sram_kb"]

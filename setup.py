@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
+``setup.py develop`` path, which needs neither.  All real metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Cowbird reproduction: offloading the disaggregation of memory.
+
+This package reproduces *Cowbird: Freeing CPUs to Compute by Offloading
+the Disaggregation of Memory* (SIGCOMM 2023) on a deterministic,
+packet-level discrete-event simulator.  See DESIGN.md for the system
+inventory and the substitution rationale (the paper's artifact is a
+Tofino switch + RDMA testbed; we model that substrate and reproduce the
+*shape* of every table and figure).
+
+Public API tour
+---------------
+* :mod:`repro.sim` — the discrete-event simulator (clock, CPU, network).
+* :mod:`repro.rdma` — RoCEv2 packets, queue pairs, verbs, RNIC model.
+* :mod:`repro.memory` — registered memory regions and the memory pool.
+* :mod:`repro.cowbird` — the paper's contribution: client library and the
+  two offload engines (P4 switch data plane and Spot-VM agent).
+* :mod:`repro.baselines` — the comparators: sync/async RDMA, Redy, AIFM,
+  and the SSD storage backend.
+* :mod:`repro.faster` — a FASTER-like KV store with the IDevice interface
+  Cowbird integrates through.
+* :mod:`repro.workloads` — YCSB and the hash-table microbenchmark.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import CPU, CostModel, Simulator
+
+__all__ = ["CPU", "CostModel", "Simulator", "__version__"]

@@ -1,0 +1,43 @@
+"""Baseline remote-memory systems the paper compares against.
+
+Every comparator in the evaluation is implemented behind one
+:class:`~repro.baselines.backends.Backend` interface so workloads can
+swap systems without changing their issue/poll loop:
+
+* two-sided synchronous RDMA RPC (client SEND -> server WRITE+SEND),
+* one-sided synchronous RDMA (busy-polled ``ibv_post_send``/``poll_cq``),
+* one-sided asynchronous RDMA (batch-of-100 pipelining, as in Section 8),
+* Cowbird itself (thin adapter over the client library),
+* Redy (Figure 11): dedicated pinned I/O cores batching requests,
+* AIFM (Figure 12): Shenango-style green threads + IOKernel dispatch,
+* a local SATA SSD (Figure 9's default FASTER storage backend),
+* purely local memory (the upper bound).
+"""
+
+from repro.baselines.backends import (
+    Backend,
+    CowbirdBackend,
+    LocalMemoryBackend,
+    OneSidedAsyncBackend,
+    OneSidedSyncBackend,
+    TwoSidedSyncBackend,
+)
+from repro.baselines.redy import RedyBackend, RedyConfig
+from repro.baselines.aifm import AifmBackend, AifmConfig
+from repro.baselines.ssd import SsdBackend, SsdConfig, SsdDrive
+
+__all__ = [
+    "AifmBackend",
+    "AifmConfig",
+    "Backend",
+    "CowbirdBackend",
+    "LocalMemoryBackend",
+    "OneSidedAsyncBackend",
+    "OneSidedSyncBackend",
+    "RedyBackend",
+    "RedyConfig",
+    "SsdBackend",
+    "SsdConfig",
+    "SsdDrive",
+    "TwoSidedSyncBackend",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig01
+    python -m repro run fig08 --ops 300 --json out.json
+    python -m repro run tab05
+    python -m repro run all
+
+Each experiment prints the same rows/series the paper reports; ``--json``
+additionally dumps the raw records for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Any, Callable
+
+from repro.experiments import (
+    fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
+    tab01, tab05,
+)
+
+__all__ = ["main"]
+
+
+def _run_fig01(args) -> tuple[Any, str]:
+    rows = fig01.run(ops_per_thread=args.ops or 300)
+    return rows, fig01.format_rows(rows)
+
+
+def _run_fig02(args) -> tuple[Any, str]:
+    breakdown = fig02.run()
+    return breakdown, fig02.format_breakdown(breakdown)
+
+
+def _run_fig08(args) -> tuple[Any, str]:
+    cells = fig08.run(ops_per_thread=args.ops or 300,
+                      thread_counts=(1, 2, 4, 8, 16))
+    return cells, fig08.format_cells(cells)
+
+
+def _run_fig09(args) -> tuple[Any, str]:
+    results = fig09.run(ops_per_thread=args.ops or 250,
+                        record_count=12_000)
+    return results, fig09.format_results(results)
+
+
+def _run_fig10(args) -> tuple[Any, str]:
+    results = fig10.run(ops_per_thread=args.ops or 250,
+                        record_count=12_000)
+    return results, fig10.format_results(results)
+
+
+def _run_fig11(args) -> tuple[Any, str]:
+    results = fig11.run(ops_per_thread=args.ops or 250,
+                        record_count=12_000)
+    return results, fig11.format_results(results)
+
+
+def _run_fig12(args) -> tuple[Any, str]:
+    results = fig12.run(ops_per_thread=args.ops or 300)
+    return results, fig12.format_results(results)
+
+
+def _run_fig13(args) -> tuple[Any, str]:
+    rows = fig13.run(ops=args.ops or 200)
+    return rows, fig13.format_rows(rows)
+
+
+def _run_fig14(args) -> tuple[Any, str]:
+    rows = fig14.run(ops_per_thread=args.ops or 200)
+    return rows, fig14.format_rows(rows)
+
+
+def _run_tab01(args) -> tuple[Any, str]:
+    result = tab01.run()
+    return result, result["rendered"]
+
+
+def _run_tab05(args) -> tuple[Any, str]:
+    result = tab05.run()
+    lines = ["Table 5: Cowbird-P4 data-plane resources"]
+    for key, value in result["estimated"].items():
+        lines.append(f"  {key:<20s} {value}")
+    lines.append(f"  matches paper row: {result['estimated'] == result['paper']}")
+    return result, "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig01": ("normalized 256 B probe throughput (Figure 1)", _run_fig01),
+    "fig02": ("per-read compute-side CPU breakdown (Figure 2)", _run_fig02),
+    "fig08": ("hash-table throughput panels (Figure 8)", _run_fig08),
+    "fig09": ("FASTER YCSB throughput (Figure 9)", _run_fig09),
+    "fig10": ("FASTER communication ratio (Figure 10)", _run_fig10),
+    "fig11": ("FASTER: Cowbird vs Redy (Figure 11)", _run_fig11),
+    "fig12": ("8 B reads: Cowbird vs AIFM (Figure 12)", _run_fig12),
+    "fig13": ("read latency by record size (Figure 13)", _run_fig13),
+    "fig14": ("contending TCP bandwidth (Figure 14)", _run_fig14),
+    "tab01": ("spot pricing (Table 1)", _run_tab01),
+    "tab05": ("Tofino resource usage (Table 5)", _run_tab05),
+}
+
+
+def _to_jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Cowbird paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run_parser.add_argument("--ops", type=int, default=None,
+                            help="operations per thread (scale knob)")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="also dump raw records as JSON")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"  {name:<7s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    dump: dict[str, Any] = {}
+    for name in names:
+        description, fn = EXPERIMENTS[name]
+        print(f"== {name}: {description}")
+        started = time.time()
+        raw, rendered = fn(args)
+        print(rendered)
+        print(f"   ({time.time() - started:.1f}s wall)\n")
+        dump[name] = _to_jsonable(raw)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(dump, handle, indent=2)
+        print(f"raw records written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Cloud pricing data and cost-efficiency analysis (Table 1, Section 2.2)."""
+
+from repro.cloud.pricing import (
+    PRICE_TABLE,
+    VmPrice,
+    cost_efficiency_gain,
+    offload_cost_per_compute_node,
+    spot_discount,
+)
+
+__all__ = [
+    "PRICE_TABLE",
+    "VmPrice",
+    "cost_efficiency_gain",
+    "offload_cost_per_compute_node",
+    "spot_discount",
+]

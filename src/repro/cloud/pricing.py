@@ -1,0 +1,110 @@
+"""Table 1: spot vs on-demand VM pricing, and Cowbird's cost argument.
+
+Section 2.2's economic motivation: spot instances cost up to ~90 % less
+than on-demand VMs with the same shape, and GCP sells bare spot vCPUs at
+$0.009638/vCPU-hour — so offloading disaggregation work to harvested
+CPUs is profitable whenever it frees even a fraction of a compute-node
+core, especially when one offload core can serve multiple compute nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PRICE_TABLE",
+    "VmPrice",
+    "cost_efficiency_gain",
+    "offload_cost_per_compute_node",
+    "spot_discount",
+]
+
+#: GCP pure spot CPU price quoted in Section 2.2 ($/vCPU-hour).
+GCP_SPOT_VCPU_HOURLY = 0.009638
+
+
+@dataclass(frozen=True)
+class VmPrice:
+    """One Table 1 row: a 4 vCPU / 16 GB general-purpose VM."""
+
+    provider: str
+    instance_type: str
+    on_demand_hourly: float
+    spot_hourly: float
+    vcpus: int = 4
+    memory_gb: int = 16
+
+    def __post_init__(self) -> None:
+        if self.on_demand_hourly <= 0 or self.spot_hourly <= 0:
+            raise ValueError("prices must be positive")
+        if self.spot_hourly > self.on_demand_hourly:
+            raise ValueError("spot price above on-demand price")
+
+
+#: Table 1, data from July 24, 2023.
+PRICE_TABLE: tuple[VmPrice, ...] = (
+    VmPrice("GCP", "c3-standard-4", on_demand_hourly=0.257, spot_hourly=0.059),
+    VmPrice("AWS", "m5.xlarge", on_demand_hourly=0.192, spot_hourly=0.049),
+    VmPrice("Azure", "D4s-v3", on_demand_hourly=0.236, spot_hourly=0.023),
+)
+
+
+def spot_discount(price: VmPrice) -> float:
+    """Fractional saving of spot over on-demand (up to ~0.90 in Table 1)."""
+    return 1.0 - price.spot_hourly / price.on_demand_hourly
+
+
+def offload_cost_per_compute_node(
+    price: VmPrice,
+    offload_cores: float = 1.0,
+    compute_nodes_served: int = 1,
+) -> float:
+    """Hourly cost of Cowbird-Spot offload, amortized per compute node.
+
+    One agent core (Section 8.4) can serve all of a compute node's
+    threads; serving several compute nodes from one agent divides the
+    cost further.
+    """
+    if compute_nodes_served < 1:
+        raise ValueError("must serve at least one compute node")
+    per_core_hourly = price.spot_hourly / price.vcpus
+    return per_core_hourly * offload_cores / compute_nodes_served
+
+
+def cost_efficiency_gain(
+    price: VmPrice,
+    compute_cores: int = 8,
+    cpu_fraction_freed: float = 0.8,
+    offload_cores: float = 1.0,
+    compute_nodes_served: int = 1,
+) -> float:
+    """Net fractional cost win of offloading disaggregation.
+
+    ``cpu_fraction_freed`` is the share of compute-node CPU that
+    software-level disaggregation would otherwise burn (Figure 10 shows
+    >80 % for synchronous RDMA under FASTER).  The gain compares the
+    value of those freed on-demand cores against the spot cores bought
+    to run the offload engine.
+    """
+    if not 0.0 <= cpu_fraction_freed <= 1.0:
+        raise ValueError(f"cpu_fraction_freed out of range: {cpu_fraction_freed}")
+    on_demand_per_core = price.on_demand_hourly / price.vcpus
+    freed_value = on_demand_per_core * compute_cores * cpu_fraction_freed
+    offload_cost = offload_cost_per_compute_node(
+        price, offload_cores, compute_nodes_served
+    )
+    compute_cost = on_demand_per_core * compute_cores
+    return (freed_value - offload_cost) / compute_cost
+
+
+def format_table() -> str:
+    """Render Table 1."""
+    lines = ["Table 1: on-demand vs spot prices (4 vCPU / 16 GB, 2023-07-24)"]
+    lines.append(f"{'provider':<8s}{'type':<18s}{'on-demand':>12s}{'spot':>9s}{'discount':>10s}")
+    for price in PRICE_TABLE:
+        lines.append(
+            f"{price.provider:<8s}{price.instance_type:<18s}"
+            f"${price.on_demand_hourly:>10.3f}/h${price.spot_hourly:>6.3f}/h"
+            f"{spot_discount(price):>9.0%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,544 @@
+"""The Cowbird client library and user-space API (Section 4, Table 2).
+
+From the application's perspective every call here touches **only local
+memory**: ``async_read``/``async_write`` append to lock-free rings and
+return a request id; ``poll_wait`` compares integers in the
+engine-maintained red block.  No RDMA verb is ever invoked on the
+compute node — that is the entire point of the paper, and it is why the
+CPU charges in this module are :attr:`CostModel.cowbird_post` /
+``cowbird_poll`` (tens of ns) instead of the ~630 ns verb path.
+
+One :class:`CowbirdInstance` owns one set of queues (the paper lays
+buffers out per hardware thread; multi-threaded apps create one
+instance per thread and the engine multiplexes).  All buffers of an
+instance live in a single registered region, so the offload engine
+reaches everything with one rkey:
+
+    [ bookkeeping 128 B | metadata ring | request data | response data ]
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.cowbird.buffers import DataRing, MetadataRing, RingFullError
+from repro.cowbird.wire import (
+    BookkeepingLayout,
+    GreenBlock,
+    RedBlock,
+    RequestMetadata,
+    RwType,
+    decode_request_id,
+    encode_request_id,
+)
+from repro.memory.pool import RemoteRegionHandle
+from repro.sim.cpu import TAG_COMM, Thread
+
+__all__ = [
+    "BufferFullError",
+    "CompletionEvent",
+    "CowbirdClient",
+    "CowbirdConfig",
+    "CowbirdInstance",
+    "InstanceDescriptor",
+    "PollGroup",
+]
+
+
+class BufferFullError(Exception):
+    """A queue/buffer is full; retry after consuming completions.
+
+    For writes the retry can be immediate; for reads the application
+    should consume existing responses first (Section 4.3).
+    """
+
+
+@dataclass
+class CowbirdConfig:
+    """Sizing of one instance's rings."""
+
+    metadata_capacity: int = 1024
+    request_data_capacity: int = 1 << 20
+    response_data_capacity: int = 1 << 20
+
+    def total_bytes(self) -> int:
+        return (
+            BookkeepingLayout.TOTAL_BYTES
+            + self.metadata_capacity * MetadataRing.ENTRY_BYTES
+            + self.request_data_capacity
+            + self.response_data_capacity
+        )
+
+
+@dataclass(frozen=True)
+class InstanceDescriptor:
+    """Phase I setup payload: everything the offload engine must know.
+
+    This is what the compute node sends "through an RPC endpoint running
+    on the switch control plane" (Section 5.2): buffer addresses, sizes,
+    the region rkey, and the registered remote regions.
+    """
+
+    instance_id: int
+    node: str
+    rkey: int
+    bookkeeping_addr: int
+    metadata_base: int
+    metadata_capacity: int
+    request_data_base: int
+    request_data_capacity: int
+    response_data_base: int
+    response_data_capacity: int
+    remote_regions: dict[int, RemoteRegionHandle] = field(default_factory=dict)
+
+
+@dataclass
+class CompletionEvent:
+    """One completed request, as returned by ``poll_wait``."""
+
+    request_id: int
+    rw_type: RwType
+    addr: int
+    length: int
+
+
+class PollGroup:
+    """An epoll-like notification group over request ids (Section 4.1).
+
+    Registration tracks, per operation type, the set of outstanding
+    sequence numbers; completion checks are integer comparisons against
+    the red block's progress counters.
+    """
+
+    def __init__(self, poll_id: int) -> None:
+        self.poll_id = poll_id
+        self._pending: dict[int, int] = {}  # request_id -> sequence
+
+    def add(self, request_id: int) -> None:
+        _type, _region, seq = decode_request_id(request_id)
+        self._pending[request_id] = seq
+
+    def remove(self, request_id: int) -> None:
+        self._pending.pop(request_id, None)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def completed(self, red: RedBlock) -> list[int]:
+        """Request ids whose sequence the progress counters have passed."""
+        done = []
+        for request_id, seq in self._pending.items():
+            rw_type, _region, _seq = decode_request_id(request_id)
+            progress = (
+                red.read_progress if rw_type is RwType.READ else red.write_progress
+            )
+            if progress >= seq:
+                done.append(request_id)
+        return done
+
+
+@dataclass
+class _OutstandingRead:
+    sequence: int
+    addr: int
+    length: int
+    pad: int
+    ring_allocated: bool
+    consumed: bool = False
+
+
+@dataclass
+class _OutstandingWrite:
+    sequence: int
+    data_pad: int
+    length: int
+
+
+class CowbirdInstance:
+    """One set of Cowbird queues on a compute node."""
+
+    def __init__(self, host, config: CowbirdConfig, instance_id: int) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.cost = host.verbs.cost
+        self.config = config
+        self.instance_id = instance_id
+        # One registered region holds all buffers (single rkey for R3).
+        self.region = host.registry.register(
+            config.total_bytes(), name=f"cowbird-{instance_id}"
+        )
+        base = self.region.base_addr
+        self.bookkeeping = BookkeepingLayout(base_addr=base)
+        cursor = base + BookkeepingLayout.TOTAL_BYTES
+        self.metadata_ring = MetadataRing(self.region, cursor, config.metadata_capacity)
+        cursor += self.metadata_ring.size_bytes
+        self.request_data = DataRing(self.region, cursor, config.request_data_capacity)
+        cursor += config.request_data_capacity
+        self.response_data = DataRing(self.region, cursor, config.response_data_capacity)
+        # Local mirrors of the shared blocks.
+        self.green = GreenBlock()
+        self.red = RedBlock()
+        self._publish_green()
+        self.region.write(self.bookkeeping.red_addr, self.red.pack())
+        # Sequence counters (per type, starting at 1; Section 4.3).
+        self._read_seq = itertools.count(1)
+        self._write_seq = itertools.count(1)
+        self._reads: dict[int, _OutstandingRead] = {}
+        self._writes: dict[int, _OutstandingWrite] = {}
+        self._poll_groups: dict[int, PollGroup] = {}
+        self._next_poll_id = itertools.count(1)
+        self._progress_waiters: list = []
+        self.remote_regions: dict[int, RemoteRegionHandle] = {}
+        # Observe engine RDMA writes to the red block so poll_wait can be
+        # event-driven instead of simulating every empty poll.
+        self.region.write_watchers.append(self._on_region_write)
+        # Stats.
+        self.requests_issued = 0
+        self.requests_completed = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_remote_region(self, handle: RemoteRegionHandle) -> None:
+        """Make a memory-pool region addressable through this instance."""
+        self.remote_regions[handle.region_id] = handle
+
+    def descriptor(self) -> InstanceDescriptor:
+        return InstanceDescriptor(
+            instance_id=self.instance_id,
+            node=self.host.name,
+            rkey=self.region.rkey,
+            bookkeeping_addr=self.bookkeeping.base_addr,
+            metadata_base=self.metadata_ring.base_addr,
+            metadata_capacity=self.metadata_ring.capacity,
+            request_data_base=self.request_data.base_addr,
+            request_data_capacity=self.request_data.capacity,
+            response_data_base=self.response_data.base_addr,
+            response_data_capacity=self.response_data.capacity,
+            remote_regions=dict(self.remote_regions),
+        )
+
+    # ------------------------------------------------------------------
+    # The Table 2 API
+    # ------------------------------------------------------------------
+    def async_read(
+        self,
+        thread: Thread,
+        region_id: int,
+        src_offset: int,
+        length: int,
+        dest_addr: Optional[int] = None,
+    ) -> Generator[Any, Any, int]:
+        """Asynchronously read remote bytes; returns a request id.
+
+        ``src_offset`` is relative to the remote region's base (the API
+        expresses remote memory as offsets from ``memory_pool_addr``).
+        With ``dest_addr=None`` the result lands in the response data
+        ring; a caller-supplied address must be in registered compute
+        memory.
+        """
+        handle = self._handle(region_id)
+        remote_addr = handle.translate(src_offset, length)
+        # Reserve the response slot first (step 2 of Section 4.3) so a
+        # full response ring fails before any state is published.
+        pad = 0
+        ring_allocated = dest_addr is None
+        if ring_allocated:
+            before = self.response_data.tail
+            try:
+                dest_addr = self.response_data.reserve(length)
+            except RingFullError as exc:
+                raise BufferFullError(str(exc)) from exc
+            pad = (self.response_data.tail - before) - length
+        sequence = next(self._read_seq)
+        try:
+            self._append_metadata(
+                RequestMetadata(
+                    rw_type=RwType.READ,
+                    req_addr=remote_addr,
+                    resp_addr=dest_addr,
+                    length=length,
+                    region_id=region_id,
+                )
+            )
+        except RingFullError as exc:
+            raise BufferFullError(str(exc)) from exc
+        self._reads[sequence] = _OutstandingRead(
+            sequence=sequence, addr=dest_addr, length=length, pad=pad,
+            ring_allocated=ring_allocated,
+        )
+        self.requests_issued += 1
+        # The whole issue path is a handful of local stores (Figure 2).
+        yield from thread.compute(self.cost.cowbird_post, tag=TAG_COMM)
+        return encode_request_id(RwType.READ, region_id, sequence)
+
+    def async_write(
+        self,
+        thread: Thread,
+        region_id: int,
+        dest_offset: int,
+        data: bytes,
+    ) -> Generator[Any, Any, int]:
+        """Asynchronously write ``data`` to remote memory; returns a request id."""
+        if not data:
+            raise ValueError("cannot write an empty payload")
+        handle = self._handle(region_id)
+        remote_addr = handle.translate(dest_offset, len(data))
+        before = self.request_data.tail
+        try:
+            src_addr = self.request_data.reserve(len(data))
+        except RingFullError as exc:
+            raise BufferFullError(str(exc)) from exc
+        pad = (self.request_data.tail - before) - len(data)
+        self.request_data.write(src_addr, data)
+        sequence = next(self._write_seq)
+        try:
+            self._append_metadata(
+                RequestMetadata(
+                    rw_type=RwType.WRITE,
+                    req_addr=src_addr,
+                    resp_addr=remote_addr,
+                    length=len(data),
+                    region_id=region_id,
+                )
+            )
+        except RingFullError as exc:
+            raise BufferFullError(str(exc)) from exc
+        self._writes[sequence] = _OutstandingWrite(
+            sequence=sequence, data_pad=pad, length=len(data)
+        )
+        self.requests_issued += 1
+        # Post cost plus the payload copy into the request data ring.
+        yield from thread.compute(
+            self.cost.cowbird_post + self.cost.memcpy_per_byte * len(data),
+            tag=TAG_COMM,
+        )
+        return encode_request_id(RwType.WRITE, region_id, sequence)
+
+    def poll_create(self) -> int:
+        """Initialize a notification group; returns a poll id."""
+        poll_id = next(self._next_poll_id)
+        self._poll_groups[poll_id] = PollGroup(poll_id)
+        return poll_id
+
+    def poll_add(self, poll_id: int, request_id: int) -> None:
+        self._group(poll_id).add(request_id)
+
+    def poll_remove(self, poll_id: int, request_id: int) -> None:
+        self._group(poll_id).remove(request_id)
+
+    def poll_wait(
+        self,
+        thread: Thread,
+        poll_id: int,
+        max_ret: int = 16,
+        timeout: Optional[float] = None,
+    ) -> Generator[Any, Any, list[CompletionEvent]]:
+        """Wait for up to ``max_ret`` completions or until ``timeout`` ns.
+
+        Completion checks are purely local: integer comparisons against
+        the red block's progress counters (Section 4.3).
+        """
+        group = self._group(poll_id)
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            # Register for progress *before* checking, so an engine
+            # update landing between the check and the wait cannot be
+            # missed (the classic lost-wakeup race).
+            progress = self.sim.future()
+            self._progress_waiters.append(progress)
+            self._sync_red()
+            done_ids = group.completed(self.red)[:max_ret]
+            if done_ids or not len(group):
+                self._discard_waiter(progress)
+                yield from thread.compute(
+                    self.cost.cowbird_poll if done_ids else self.cost.cowbird_poll_empty,
+                    tag=TAG_COMM,
+                )
+                events = [self._complete(request_id) for request_id in done_ids]
+                for request_id in done_ids:
+                    group.remove(request_id)
+                return events
+            yield from thread.compute(self.cost.cowbird_poll_empty, tag=TAG_COMM)
+            if deadline is not None and self.sim.now >= deadline:
+                self._discard_waiter(progress)
+                return []
+            if deadline is None:
+                yield from thread.wait(progress)
+            else:
+                yield from thread.wait(
+                    self.sim.any_of([progress, self.sim.timeout(deadline - self.sim.now)])
+                )
+
+    # ------------------------------------------------------------------
+    # Convenience methods (Section 4.1: "Simple extensions can be made
+    # to the API to allow convenience methods like traditional
+    # select/poll semantics or an implicit notification group tied to
+    # each read and write.")
+    # ------------------------------------------------------------------
+    def wait_one(
+        self,
+        thread: Thread,
+        request_id: int,
+        timeout: Optional[float] = None,
+    ) -> Generator[Any, Any, Optional[CompletionEvent]]:
+        """Block until one specific request completes (implicit group)."""
+        poll_id = self.poll_create()
+        try:
+            self.poll_add(poll_id, request_id)
+            events = yield from self.poll_wait(
+                thread, poll_id, max_ret=1, timeout=timeout
+            )
+            return events[0] if events else None
+        finally:
+            del self._poll_groups[poll_id]
+
+    def select(
+        self,
+        thread: Thread,
+        request_ids: list[int],
+        max_ret: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Generator[Any, Any, list[CompletionEvent]]:
+        """select()-style wait over an ad-hoc set of request ids.
+
+        Returns the completed subset (at least one unless the timeout
+        expires); unfinished requests are simply not consumed and can be
+        selected on again.
+        """
+        if not request_ids:
+            return []
+        poll_id = self.poll_create()
+        try:
+            for request_id in request_ids:
+                self.poll_add(poll_id, request_id)
+            events = yield from self.poll_wait(
+                thread, poll_id,
+                max_ret=max_ret if max_ret is not None else len(request_ids),
+                timeout=timeout,
+            )
+            return events
+        finally:
+            del self._poll_groups[poll_id]
+
+    # ------------------------------------------------------------------
+    # Response consumption
+    # ------------------------------------------------------------------
+    def fetch_response(self, request_id: int) -> bytes:
+        """Copy a completed read's bytes out and free its ring slot."""
+        rw_type, _region, sequence = decode_request_id(request_id)
+        if rw_type is not RwType.READ:
+            raise ValueError("only reads have response payloads")
+        entry = self._reads.get(sequence)
+        if entry is None:
+            raise KeyError(f"unknown or already-freed read sequence {sequence}")
+        if self.red.read_progress < sequence:
+            raise RuntimeError(f"read {sequence} not complete yet")
+        data = self.region.read(entry.addr, entry.length)
+        entry.consumed = True
+        self._release_consumed_reads()
+        return data
+
+    def _release_consumed_reads(self) -> None:
+        """Advance the response ring head past consumed leading reads."""
+        while True:
+            first = min(self._reads) if self._reads else None
+            if first is None:
+                break
+            entry = self._reads[first]
+            if not entry.consumed:
+                break
+            if entry.ring_allocated:
+                self.response_data.advance_head(
+                    self.response_data.head + entry.pad + entry.length
+                )
+            del self._reads[first]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _handle(self, region_id: int) -> RemoteRegionHandle:
+        handle = self.remote_regions.get(region_id)
+        if handle is None:
+            raise KeyError(f"region {region_id} not registered with instance")
+        return handle
+
+    def _append_metadata(self, entry: RequestMetadata) -> None:
+        self.metadata_ring.append(entry)
+        self.green.request_meta_tail = self.metadata_ring.tail
+        self.green.request_data_tail = self.request_data.tail
+        self._publish_green()
+
+    def _publish_green(self) -> None:
+        self.region.write(self.bookkeeping.green_addr, self.green.pack())
+
+    def _sync_red(self) -> None:
+        """Adopt the engine-published red block into local mirrors."""
+        raw = self.region.read(self.bookkeeping.red_addr, RedBlock.SIZE)
+        red = RedBlock.unpack(raw)
+        if red.request_meta_head > self.metadata_ring.head:
+            self.metadata_ring.advance_head(red.request_meta_head)
+        if red.request_data_head > self.request_data.head:
+            self.request_data.advance_head(red.request_data_head)
+        self.red = red
+
+    def _discard_waiter(self, progress) -> None:
+        try:
+            self._progress_waiters.remove(progress)
+        except ValueError:
+            pass  # already fired and cleared by _on_region_write
+
+    def _on_region_write(self, addr: int, length: int) -> None:
+        """Wake poll_wait sleepers when the engine touches the red block."""
+        red_addr = self.bookkeeping.red_addr
+        if addr < red_addr + RedBlock.SIZE and addr + length > red_addr:
+            waiters, self._progress_waiters = self._progress_waiters, []
+            for waiter in waiters:
+                waiter.resolve(None)
+
+    def _group(self, poll_id: int) -> PollGroup:
+        group = self._poll_groups.get(poll_id)
+        if group is None:
+            raise KeyError(f"unknown poll id {poll_id}")
+        return group
+
+    def _complete(self, request_id: int) -> CompletionEvent:
+        rw_type, _region, sequence = decode_request_id(request_id)
+        self.requests_completed += 1
+        if rw_type is RwType.READ:
+            entry = self._reads[sequence]
+            return CompletionEvent(
+                request_id=request_id, rw_type=rw_type,
+                addr=entry.addr, length=entry.length,
+            )
+        entry = self._writes.pop(sequence)
+        return CompletionEvent(
+            request_id=request_id, rw_type=rw_type, addr=0, length=entry.length
+        )
+
+
+class CowbirdClient:
+    """Factory/registry for a compute node's Cowbird instances."""
+
+    def __init__(self, host, config: Optional[CowbirdConfig] = None) -> None:
+        self.host = host
+        self.config = config or CowbirdConfig()
+        self.instances: list[CowbirdInstance] = []
+        self._shared_regions: list[RemoteRegionHandle] = []
+
+    def register_remote_region(self, handle: RemoteRegionHandle) -> None:
+        """Register a remote region with all (current and future) instances."""
+        self._shared_regions.append(handle)
+        for instance in self.instances:
+            instance.register_remote_region(handle)
+
+    def create_instance(self, config: Optional[CowbirdConfig] = None) -> CowbirdInstance:
+        instance = CowbirdInstance(
+            self.host, config or self.config, instance_id=len(self.instances)
+        )
+        for handle in self._shared_regions:
+            instance.register_remote_region(handle)
+        self.instances.append(instance)
+        return instance

@@ -1,0 +1,193 @@
+"""Cowbird's lock-free circular buffers (Section 4.2, Figure 4).
+
+Three rings live in compute-node registered memory:
+
+* the **request metadata ring** — fixed 32-byte entries (R1: trivially
+  parsed by packet-centric devices),
+* the **request data ring** — raw write payloads, no per-entry metadata,
+* the **response data ring** — raw read results, appended by the engine.
+
+Pointers are monotonically increasing counters (entries or bytes since
+start); the ring offset is ``pointer % capacity``.  Data-ring
+allocations never wrap around the end of the buffer: if an entry would
+straddle the boundary, the allocator skips the leftover bytes
+(:func:`skip_pad`).  Producer and consumer apply the same deterministic
+rule, so the offload engine can mirror the client's cursor from lengths
+alone — no extra coordination messages (R2/R3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cowbird.wire import METADATA_ENTRY_BYTES, RequestMetadata
+from repro.memory.region import MemoryRegion
+
+__all__ = ["DataRing", "MetadataRing", "RingFullError", "skip_pad"]
+
+
+class RingFullError(Exception):
+    """No space: the caller should retry after consuming completions."""
+
+
+def skip_pad(tail: int, length: int, capacity: int) -> int:
+    """Padding inserted before an allocation so it never wraps.
+
+    >>> skip_pad(900, 200, 1024)   # 900+200 > 1024: skip to boundary
+    124
+    >>> skip_pad(100, 200, 1024)
+    0
+    """
+    offset = tail % capacity
+    if offset + length > capacity:
+        return capacity - offset
+    return 0
+
+
+class MetadataRing:
+    """The request metadata ring: fixed-size entries, one per request."""
+
+    ENTRY_BYTES = METADATA_ENTRY_BYTES
+
+    def __init__(self, region: MemoryRegion, base_addr: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        needed = capacity * self.ENTRY_BYTES
+        if not region.contains(base_addr, needed):
+            raise ValueError(
+                f"ring of {needed} bytes does not fit region at {base_addr:#x}"
+            )
+        self.region = region
+        self.base_addr = base_addr
+        self.capacity = capacity
+        #: Client-side pointers: tail is owned locally, head mirrors the
+        #: engine-written red block.
+        self.tail = 0
+        self.head = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self.capacity * self.ENTRY_BYTES
+
+    def free_entries(self) -> int:
+        return self.capacity - (self.tail - self.head)
+
+    def addr_of(self, index: int) -> int:
+        """Address of the entry at monotonic ``index``."""
+        return self.base_addr + (index % self.capacity) * self.ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    def append(self, entry: RequestMetadata) -> int:
+        """Write ``entry`` at the tail; return its monotonic index.
+
+        Raises :class:`RingFullError` when the engine has not yet freed
+        space (the paper's API returns an error telling the app to retry
+        after processing existing responses).
+        """
+        if self.free_entries() <= 0:
+            raise RingFullError(
+                f"metadata ring full ({self.capacity} entries outstanding)"
+            )
+        index = self.tail
+        self.region.write(self.addr_of(index), entry.pack())
+        self.tail += 1
+        return index
+
+    def read_entry(self, index: int) -> RequestMetadata:
+        """Local parse of the entry at monotonic ``index``."""
+        raw = self.region.read(self.addr_of(index), self.ENTRY_BYTES)
+        return RequestMetadata.unpack(raw)
+
+    def entries_between(self, head: int, tail: int) -> Iterator[RequestMetadata]:
+        """Parse entries in [head, tail) — what an engine fetch yields."""
+        for index in range(head, tail):
+            yield self.read_entry(index)
+
+    def advance_head(self, new_head: int) -> None:
+        """Adopt the engine-published head (frees ring space)."""
+        if new_head < self.head or new_head > self.tail:
+            raise ValueError(
+                f"head must move forward within [{self.head}, {self.tail}]: {new_head}"
+            )
+        self.head = new_head
+
+
+class DataRing:
+    """A byte ring for raw payloads (request data / response data)."""
+
+    def __init__(self, region: MemoryRegion, base_addr: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not region.contains(base_addr, capacity):
+            raise ValueError(
+                f"ring of {capacity} bytes does not fit region at {base_addr:#x}"
+            )
+        self.region = region
+        self.base_addr = base_addr
+        self.capacity = capacity
+        self.tail = 0
+        self.head = 0
+
+    # ------------------------------------------------------------------
+    def free_bytes(self) -> int:
+        return self.capacity - (self.tail - self.head)
+
+    def addr_at(self, pointer: int) -> int:
+        return self.base_addr + (pointer % self.capacity)
+
+    # ------------------------------------------------------------------
+    def reserve(self, length: int) -> int:
+        """Allocate ``length`` contiguous bytes; return their address.
+
+        Applies the no-wrap rule, advancing the tail past boundary
+        padding first.  Raises :class:`RingFullError` when the payload
+        (plus any padding) does not fit.
+        """
+        if length <= 0:
+            raise ValueError(f"allocation length must be positive: {length}")
+        # Cap allocations at half the ring so boundary padding (counted
+        # as occupancy by the conservative full-check below) can never
+        # make an allocation permanently unsatisfiable.
+        if length > self.capacity // 2:
+            raise ValueError(
+                f"allocation of {length} bytes exceeds half the ring "
+                f"capacity ({self.capacity})"
+            )
+        pad = skip_pad(self.tail, length, self.capacity)
+        if self.tail - self.head + pad + length > self.capacity:
+            raise RingFullError(
+                f"data ring full ({self.free_bytes()} free, need {pad + length})"
+            )
+        self.tail += pad
+        addr = self.addr_at(self.tail)
+        self.tail += length
+        return addr
+
+    def write(self, addr: int, payload: bytes) -> None:
+        """Store ``payload`` at a previously reserved address."""
+        self.region.write(addr, payload)
+
+    def read(self, addr: int, length: int) -> bytes:
+        return self.region.read(addr, length)
+
+    def advance_head(self, new_head: int) -> None:
+        """Consume through ``new_head`` (monotonic byte pointer)."""
+        if new_head < self.head or new_head > self.tail:
+            raise ValueError(
+                f"head must move forward within [{self.head}, {self.tail}]: {new_head}"
+            )
+        self.head = new_head
+
+    def mirror_reserve(self, cursor: int, length: int) -> tuple[int, int]:
+        """Engine-side replay of :meth:`reserve`'s cursor arithmetic.
+
+        Given the consumer's view of the producer cursor, returns
+        ``(addr, new_cursor)`` for an entry of ``length`` bytes — the
+        deterministic no-wrap rule means lengths alone reproduce the
+        producer's layout.
+        """
+        pad = skip_pad(cursor, length, self.capacity)
+        cursor += pad
+        addr = self.addr_at(cursor)
+        return addr, cursor + length

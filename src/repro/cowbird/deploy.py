@@ -1,0 +1,107 @@
+"""One-call Cowbird deployments for tests, examples, and experiments.
+
+Builds the Section 7 testbed (compute node, memory pool, switch, and —
+for Cowbird-Spot — a spot-VM agent host), allocates remote memory,
+creates client instances, registers them with the chosen offload
+engine, and starts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cowbird.api import CowbirdClient, CowbirdConfig, CowbirdInstance
+from repro.cowbird.p4_engine import CowbirdP4Engine, P4EngineConfig
+from repro.cowbird.spot_engine import CowbirdSpotEngine, SpotEngineConfig
+from repro.memory.pool import MemoryPool, RemoteRegionHandle
+from repro.sim.cpu import CostModel
+from repro.sim.network import FaultInjector
+from repro.testbed import Host, Testbed
+
+__all__ = ["CowbirdDeployment", "deploy_cowbird"]
+
+
+@dataclass
+class CowbirdDeployment:
+    """Everything a deployed Cowbird system exposes."""
+
+    bed: Testbed
+    compute: Host
+    pool_host: Host
+    pool: MemoryPool
+    client: CowbirdClient
+    instances: list[CowbirdInstance]
+    region: RemoteRegionHandle
+    engine: object
+    agent_host: Optional[Host] = None
+
+    @property
+    def sim(self):
+        return self.bed.sim
+
+    def pool_region(self):
+        """The backing memory region on the pool (for test assertions)."""
+        return self.pool.region_for(self.region)
+
+
+def deploy_cowbird(
+    engine: str = "spot",
+    num_instances: int = 1,
+    remote_bytes: int = 1 << 20,
+    compute_cores: int = 8,
+    smt: int = 2,
+    cost: Optional[CostModel] = None,
+    cowbird_config: Optional[CowbirdConfig] = None,
+    spot_config: Optional[SpotEngineConfig] = None,
+    p4_config: Optional[P4EngineConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    seed: int = 0,
+) -> CowbirdDeployment:
+    """Stand up a complete Cowbird system and start its offload engine.
+
+    ``engine`` selects the offload platform: ``"spot"`` (Section 6),
+    ``"p4"`` (Section 5), or ``"none"`` (client only — for unit tests
+    that drive the protocol by hand).
+    """
+    if engine not in ("spot", "p4", "none"):
+        raise ValueError(f"unknown engine kind: {engine}")
+    cost = cost or CostModel()
+    bed = Testbed(seed=seed, cost=cost, fault_injector=fault_injector)
+    compute = bed.add_host("compute", cpu_cores=compute_cores, smt=smt)
+    pool_host = bed.add_host("pool")
+    pool = MemoryPool("pool")
+    pool_host.registry = pool.registry
+    pool_host.nic.registry = pool.registry
+    region = pool.allocate_region(remote_bytes, name="cowbird-remote")
+
+    client = CowbirdClient(compute, cowbird_config)
+    client.register_remote_region(region)
+    instances = [client.create_instance() for _ in range(num_instances)]
+
+    agent_host = None
+    engine_obj = None
+    if engine == "spot":
+        # The agent is capped at one CPU core (Section 8.4).
+        agent_host = bed.add_host("spot-agent", cpu_cores=1, smt=2)
+        engine_obj = CowbirdSpotEngine(agent_host, spot_config)
+        for instance in instances:
+            engine_obj.register_instance(instance, {"pool": pool_host})
+        engine_obj.start()
+    elif engine == "p4":
+        engine_obj = CowbirdP4Engine(bed.sim, bed.switch, p4_config)
+        for instance in instances:
+            engine_obj.register_instance(instance, {"pool": pool_host})
+        engine_obj.start()
+
+    return CowbirdDeployment(
+        bed=bed,
+        compute=compute,
+        pool_host=pool_host,
+        pool=pool,
+        client=client,
+        instances=instances,
+        region=region,
+        engine=engine_obj,
+        agent_host=agent_host,
+    )

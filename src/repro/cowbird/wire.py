@@ -1,0 +1,222 @@
+"""Cowbird's in-memory wire formats (Section 4.2, Tables 3).
+
+Three byte-exact layouts live here:
+
+* :class:`RequestMetadata` — the fixed-size request descriptor the
+  client appends to its metadata ring and the offload engine parses out
+  of RDMA read payloads (Table 3: rw_type/req_addr/resp_addr/length/
+  region_id, padded for alignment).
+* :class:`GreenBlock` — the client-written bookkeeping the engine reads
+  with a single probe (tail pointers, packed contiguously).
+* :class:`RedBlock` — the engine-written bookkeeping the client reads
+  locally (head pointers, response tail, and the per-type progress
+  counters that make completion tracking integer comparisons).
+
+Request IDs encode operation type, region id, and a per-type sequence
+number (Section 4.3) so that "almost all checks can be done with simple
+integer arithmetic".
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "BookkeepingLayout",
+    "GreenBlock",
+    "RedBlock",
+    "RequestMetadata",
+    "RwType",
+    "decode_request_id",
+    "encode_request_id",
+]
+
+
+class RwType(enum.IntEnum):
+    """Request-type discriminator; INVALID marks not-yet-ready entries.
+
+    The client writes the rw_type cache line *last* (Section 4.3), so an
+    engine that races ahead of an in-progress append sees INVALID and
+    stops.
+    """
+
+    INVALID = 0
+    READ = 1
+    WRITE = 2
+
+
+#: Packed layout: rw_type u16, region_id u16, length u32, req_addr u64,
+#: resp_addr u64 = 24 bytes, padded to 32 for cache-line-friendly
+#: alignment (R1: fixed-size, trivially parsed by packet-centric devices).
+_METADATA_STRUCT = struct.Struct("<HHIQQ")
+METADATA_ENTRY_BYTES = 32
+_METADATA_PAD = METADATA_ENTRY_BYTES - _METADATA_STRUCT.size
+
+
+@dataclass(frozen=True)
+class RequestMetadata:
+    """One entry of the request metadata ring (Table 3).
+
+    ``req_addr`` is where the engine *fetches* data from: a memory-pool
+    address for reads, a compute-node address (in the request data ring)
+    for writes.  ``resp_addr`` is where the result lands: a compute-node
+    address (in the response data ring) for reads, a memory-pool address
+    for writes.
+    """
+
+    rw_type: RwType
+    req_addr: int
+    resp_addr: int
+    length: int
+    region_id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.region_id <= 0xFFFF:
+            raise ValueError(f"region_id out of 16-bit range: {self.region_id}")
+        if not 0 <= self.length < (1 << 32):
+            raise ValueError(f"length out of 32-bit range: {self.length}")
+        if self.req_addr < 0 or self.resp_addr < 0:
+            raise ValueError("addresses must be non-negative")
+
+    def pack(self) -> bytes:
+        return (
+            _METADATA_STRUCT.pack(
+                int(self.rw_type),
+                self.region_id,
+                self.length,
+                self.req_addr,
+                self.resp_addr,
+            )
+            + b"\x00" * _METADATA_PAD
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RequestMetadata":
+        if len(data) < _METADATA_STRUCT.size:
+            raise ValueError(f"metadata entry too short: {len(data)} bytes")
+        rw, region_id, length, req_addr, resp_addr = _METADATA_STRUCT.unpack_from(data)
+        return cls(
+            rw_type=RwType(rw),
+            req_addr=req_addr,
+            resp_addr=resp_addr,
+            length=length,
+            region_id=region_id,
+        )
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping blocks (Section 4.2 "Bookkeeping" + Figure 4 colors)
+# ----------------------------------------------------------------------
+
+_GREEN_STRUCT = struct.Struct("<QQ")
+_RED_STRUCT = struct.Struct("<QQQQQ")
+
+
+@dataclass
+class GreenBlock:
+    """Client-written pointers, read by the engine in one RDMA read.
+
+    Tails are monotonically increasing (entries / bytes produced since
+    start); the ring index is ``tail % capacity``.  Monotonic counters
+    avoid the classic full-vs-empty ambiguity of wrapped indices.
+    """
+
+    request_meta_tail: int = 0
+    request_data_tail: int = 0
+
+    SIZE = _GREEN_STRUCT.size
+
+    def pack(self) -> bytes:
+        return _GREEN_STRUCT.pack(self.request_meta_tail, self.request_data_tail)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "GreenBlock":
+        meta_tail, data_tail = _GREEN_STRUCT.unpack_from(data)
+        return cls(request_meta_tail=meta_tail, request_data_tail=data_tail)
+
+
+@dataclass
+class RedBlock:
+    """Engine-written pointers/counters, read locally by the client.
+
+    One RDMA write updates all five fields (Phase IV, R3): the head
+    pointers free ring space for new requests, the response tail
+    publishes freshly written response bytes, and the two progress
+    counters carry the per-type sequence number of the last completed
+    operation — the entire completion-tracking story of Section 4.2.
+    """
+
+    request_meta_head: int = 0
+    request_data_head: int = 0
+    response_data_tail: int = 0
+    write_progress: int = 0
+    read_progress: int = 0
+
+    SIZE = _RED_STRUCT.size
+
+    def pack(self) -> bytes:
+        return _RED_STRUCT.pack(
+            self.request_meta_head,
+            self.request_data_head,
+            self.response_data_tail,
+            self.write_progress,
+            self.read_progress,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RedBlock":
+        fields = _RED_STRUCT.unpack_from(data)
+        return cls(*fields)
+
+
+@dataclass(frozen=True)
+class BookkeepingLayout:
+    """Addresses of the green and red blocks inside one region.
+
+    Both blocks live in a single registered region so each side can be
+    read or written with exactly one RDMA operation; they sit on
+    separate cache lines so client stores and engine DMA writes do not
+    false-share.
+    """
+
+    base_addr: int
+
+    GREEN_OFFSET = 0
+    RED_OFFSET = 64
+    TOTAL_BYTES = 128
+
+    @property
+    def green_addr(self) -> int:
+        return self.base_addr + self.GREEN_OFFSET
+
+    @property
+    def red_addr(self) -> int:
+        return self.base_addr + self.RED_OFFSET
+
+
+# ----------------------------------------------------------------------
+# Request-id encoding (Section 4.3)
+# ----------------------------------------------------------------------
+
+_REQ_SEQ_BITS = 32
+_REQ_REGION_SHIFT = _REQ_SEQ_BITS
+_REQ_TYPE_SHIFT = _REQ_REGION_SHIFT + 16
+
+
+def encode_request_id(rw_type: RwType, region_id: int, sequence: int) -> int:
+    """Pack (type, region, per-type sequence) into one integer."""
+    if not 0 <= region_id <= 0xFFFF:
+        raise ValueError(f"region_id out of range: {region_id}")
+    if not 0 < sequence < (1 << _REQ_SEQ_BITS):
+        raise ValueError(f"sequence out of range: {sequence}")
+    return (int(rw_type) << _REQ_TYPE_SHIFT) | (region_id << _REQ_REGION_SHIFT) | sequence
+
+
+def decode_request_id(request_id: int) -> tuple[RwType, int, int]:
+    """Inverse of :func:`encode_request_id`."""
+    rw_type = RwType((request_id >> _REQ_TYPE_SHIFT) & 0xFFFF)
+    region_id = (request_id >> _REQ_REGION_SHIFT) & 0xFFFF
+    sequence = request_id & ((1 << _REQ_SEQ_BITS) - 1)
+    return rw_type, region_id, sequence

@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each ``figNN`` module exposes a ``run(...)`` function that regenerates
+the corresponding figure's rows/series at a configurable (scaled-down)
+operation count, returning plain dictionaries the benchmark harness
+prints.  ``common`` holds the system builders shared by all of them.
+"""
+
+from repro.experiments.common import (
+    MICROBENCH_SYSTEMS,
+    MicrobenchResult,
+    build_microbench,
+    run_microbench,
+)
+
+__all__ = [
+    "MICROBENCH_SYSTEMS",
+    "MicrobenchResult",
+    "build_microbench",
+    "run_microbench",
+]

@@ -1,0 +1,37 @@
+"""Table 1: spot pricing and the cost-efficiency argument (Section 2.2)."""
+
+from __future__ import annotations
+
+from repro.cloud.pricing import (
+    PRICE_TABLE,
+    cost_efficiency_gain,
+    format_table,
+    spot_discount,
+)
+
+__all__ = ["run"]
+
+
+def run() -> dict:
+    """Regenerate Table 1 plus the derived cost analysis."""
+    return {
+        "rows": [
+            {
+                "provider": price.provider,
+                "instance_type": price.instance_type,
+                "on_demand_hourly": price.on_demand_hourly,
+                "spot_hourly": price.spot_hourly,
+                "discount": spot_discount(price),
+            }
+            for price in PRICE_TABLE
+        ],
+        "max_discount": max(spot_discount(p) for p in PRICE_TABLE),
+        "efficiency_gain_single_node": {
+            p.provider: cost_efficiency_gain(p) for p in PRICE_TABLE
+        },
+        "efficiency_gain_four_nodes": {
+            p.provider: cost_efficiency_gain(p, compute_nodes_served=4)
+            for p in PRICE_TABLE
+        },
+        "rendered": format_table(),
+    }

@@ -1,0 +1,42 @@
+"""Table 5: Cowbird-P4's Tofino data-plane resource usage."""
+
+from __future__ import annotations
+
+from repro.cowbird.p4_resources import (
+    cowbird_pipeline_units,
+    estimate_pipeline_resources,
+)
+
+__all__ = ["run"]
+
+#: The paper's reported row for a 32-port L3-forwarding Tofino.
+PAPER_ROW = {
+    "phv_bits": 1085,
+    "sram_kb": 1424,
+    "tcam_kb": 1.28,
+    "stages": 12,
+    "vliw_instructions": 38,
+    "stateful_alus": 11,
+}
+
+
+def run() -> dict:
+    """Regenerate Table 5 from the pipeline model."""
+    estimated = estimate_pipeline_resources()
+    bare = estimate_pipeline_resources(cowbird_pipeline_units(l3_forwarding=False))
+    return {
+        "estimated": {
+            "phv_bits": estimated.phv_bits,
+            "sram_kb": estimated.sram_kb,
+            "tcam_kb": estimated.tcam_kb,
+            "stages": estimated.stages,
+            "vliw_instructions": estimated.vliw_instructions,
+            "stateful_alus": estimated.stateful_alus,
+        },
+        "paper": dict(PAPER_ROW),
+        "fits_tofino": estimated.fits_tofino(),
+        "cowbird_only": {
+            "sram_kb": bare.sram_kb,
+            "stages": bare.stages,
+        },
+    }

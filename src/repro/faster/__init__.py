@@ -1,0 +1,23 @@
+"""A FASTER-like key-value store (the paper's case study, Section 7).
+
+FASTER stores records in a *hybrid log*: the tail lives in memory and is
+mutable, older data is read-only, and the cold prefix spills to a
+storage device through the ``IDevice`` interface.  The paper integrates
+Cowbird by instantiating an IDevice over remote memory; we reproduce
+that integration point exactly — any
+:class:`~repro.baselines.backends.Backend` (SSD, one-sided RDMA,
+Cowbird, local memory) can serve as the storage layer.
+"""
+
+from repro.faster.hashindex import HashIndex
+from repro.faster.hybridlog import HybridLog, HybridLogConfig
+from repro.faster.store import FasterKv, FasterConfig, ReadOutcome
+
+__all__ = [
+    "FasterConfig",
+    "FasterKv",
+    "HashIndex",
+    "HybridLog",
+    "HybridLogConfig",
+    "ReadOutcome",
+]

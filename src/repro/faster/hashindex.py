@@ -1,0 +1,82 @@
+"""FASTER's hash index: key -> hybrid-log address.
+
+The real index is an array of cache-line-sized buckets holding
+(tag, address) entries with lock-free CAS updates.  We keep the bucket
+structure (so occupancy and collision behaviour are observable) but let
+Python-level operations stand in for the atomics; their CPU cost is
+charged from the cost model by the store layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["HashIndex"]
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer — the index's hash function."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFF_FFFF_FFFF_FFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFF_FFFF_FFFF_FFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFF_FFFF_FFFF_FFFF
+    return value ^ (value >> 31)
+
+
+class HashIndex:
+    """A bucketed hash index mapping keys to log addresses."""
+
+    BUCKET_ENTRIES = 8
+
+    def __init__(self, num_buckets: int = 1 << 16) -> None:
+        if num_buckets < 1 or (num_buckets & (num_buckets - 1)) != 0:
+            raise ValueError(f"num_buckets must be a power of two: {num_buckets}")
+        self.num_buckets = num_buckets
+        self._buckets: list[list[tuple[int, int]]] = [[] for _ in range(num_buckets)]
+        self.entry_count = 0
+        self.collision_overflow = 0
+
+    def _bucket_of(self, key: int) -> list[tuple[int, int]]:
+        return self._buckets[_mix64(key) & (self.num_buckets - 1)]
+
+    def get(self, key: int) -> Optional[int]:
+        """Latest log address for ``key``, or None."""
+        for entry_key, address in self._bucket_of(key):
+            if entry_key == key:
+                return address
+        return None
+
+    def upsert(self, key: int, address: int) -> None:
+        """Point ``key`` at ``address`` (a newer log position)."""
+        bucket = self._bucket_of(key)
+        for i, (entry_key, _old) in enumerate(bucket):
+            if entry_key == key:
+                bucket[i] = (key, address)
+                return
+        if len(bucket) >= self.BUCKET_ENTRIES:
+            # Real FASTER chains overflow buckets; we track the effect.
+            self.collision_overflow += 1
+        bucket.append((key, address))
+        self.entry_count += 1
+
+    def delete(self, key: int) -> bool:
+        bucket = self._bucket_of(key)
+        for i, (entry_key, _addr) in enumerate(bucket):
+            if entry_key == key:
+                del bucket[i]
+                self.entry_count -= 1
+                return True
+        return False
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    def keys(self) -> Iterator[int]:
+        for bucket in self._buckets:
+            for key, _addr in bucket:
+                yield key
+
+    def load_factor(self) -> float:
+        return self.entry_count / (self.num_buckets * self.BUCKET_ENTRIES)

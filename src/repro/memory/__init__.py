@@ -1,0 +1,27 @@
+"""Memory substrate: registered regions, host memory, and the memory pool.
+
+RDMA operates on *registered* memory regions addressed by (virtual
+address, key).  This package provides byte-accurate backing stores for
+both sides of a Cowbird deployment: the compute node's local buffers
+(request/response queues live here) and the memory pool's registered
+remote regions.
+"""
+
+from repro.memory.region import (
+    AccessError,
+    BoundsError,
+    MemoryRegion,
+    Permission,
+    RegionRegistry,
+)
+from repro.memory.pool import MemoryPool, RemoteRegionHandle
+
+__all__ = [
+    "AccessError",
+    "BoundsError",
+    "MemoryPool",
+    "MemoryRegion",
+    "Permission",
+    "RegionRegistry",
+    "RemoteRegionHandle",
+]

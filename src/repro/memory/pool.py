@@ -1,0 +1,107 @@
+"""The memory pool: the passive host of disaggregated memory.
+
+The pool side of a Cowbird deployment needs no CPU involvement for data
+transfers — one-sided RDMA READ/WRITE operations are serviced entirely
+by its RNIC against registered regions.  The pool's only active role is
+at setup time: allocating regions and handing out
+:class:`RemoteRegionHandle` descriptors (base address, rkey, size) that
+compute nodes register with their client library (Phase I of the
+Cowbird-P4 protocol, Section 5.2).
+
+Memory may be *reserved* (a dedicated pool server) or *harvested* (spare
+fragments of a VM, as in Redy); the handle abstraction covers both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.region import MemoryRegion, Permission, RegionRegistry
+
+__all__ = ["MemoryPool", "RemoteRegionHandle"]
+
+
+@dataclass(frozen=True)
+class RemoteRegionHandle:
+    """Everything a client needs to address a remote region.
+
+    This is the information exchanged during connection setup: the
+    region's base virtual address on the pool, its remote key, and its
+    size.  ``region_id`` is the small integer the Cowbird request
+    metadata block carries (Table 3: a 16-bit field).
+    """
+
+    region_id: int
+    node: str
+    base_addr: int
+    length: int
+    rkey: int
+
+    def translate(self, offset: int, length: int = 1) -> int:
+        """Translate a client-side offset to a pool virtual address."""
+        if offset < 0 or offset + length > self.length:
+            raise ValueError(
+                f"offset {offset} (+{length}) outside region of {self.length} bytes"
+            )
+        return self.base_addr + offset
+
+
+class MemoryPool:
+    """A host that exposes registered memory regions to compute nodes."""
+
+    MAX_REGION_ID = 0xFFFF  # region_id is a 16-bit field (Table 3)
+
+    def __init__(self, node: str, capacity_bytes: Optional[int] = None) -> None:
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self.registry = RegionRegistry(base_addr=0x4000_0000)
+        self._next_region_id = 0
+        self._allocated = 0
+        self._handles: dict[int, RemoteRegionHandle] = {}
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    def allocate_region(self, length: int, name: str = "") -> RemoteRegionHandle:
+        """Allocate, register, and describe a new remote region."""
+        if self.capacity_bytes is not None and self._allocated + length > self.capacity_bytes:
+            raise MemoryError(
+                f"pool {self.node!r} capacity exceeded: "
+                f"{self._allocated} + {length} > {self.capacity_bytes}"
+            )
+        if self._next_region_id > self.MAX_REGION_ID:
+            raise MemoryError("region_id space (16 bits) exhausted")
+        region = self.registry.register(
+            length,
+            permissions=Permission.all(),
+            name=name or f"{self.node}-region-{self._next_region_id}",
+        )
+        handle = RemoteRegionHandle(
+            region_id=self._next_region_id,
+            node=self.node,
+            base_addr=region.base_addr,
+            length=region.length,
+            rkey=region.rkey,
+        )
+        self._next_region_id += 1
+        self._allocated += length
+        self._handles[handle.region_id] = handle
+        return handle
+
+    def release_region(self, handle: RemoteRegionHandle) -> None:
+        """Return a region's bytes to the pool."""
+        if handle.region_id not in self._handles:
+            raise KeyError(f"unknown region id {handle.region_id}")
+        region = self.registry.by_rkey(handle.rkey)
+        self.registry.deregister(region)
+        del self._handles[handle.region_id]
+        self._allocated -= handle.length
+
+    def handle(self, region_id: int) -> RemoteRegionHandle:
+        return self._handles[region_id]
+
+    def region_for(self, handle: RemoteRegionHandle) -> MemoryRegion:
+        """Resolve a handle back to its backing region (pool side)."""
+        return self.registry.by_rkey(handle.rkey)

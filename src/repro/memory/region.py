@@ -1,0 +1,210 @@
+"""Registered memory regions with byte-accurate backing stores.
+
+A :class:`MemoryRegion` models what ``ibv_reg_mr`` returns: a contiguous
+virtual address range backed by real bytes, addressable by remote peers
+that hold the region's ``rkey``.  The :class:`RegionRegistry` is the
+per-host table an RNIC consults to translate an incoming (address, rkey)
+pair into a buffer — including the permission and bounds checks a real
+HCA performs in hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator, Optional
+
+__all__ = [
+    "AccessError",
+    "BoundsError",
+    "MemoryRegion",
+    "Permission",
+    "RegionRegistry",
+]
+
+
+class BoundsError(Exception):
+    """An access fell outside a region's registered range."""
+
+
+class AccessError(Exception):
+    """An access violated a region's permissions or used a bad key."""
+
+
+class Permission(enum.Flag):
+    """RDMA access permissions (subset of ibv_access_flags)."""
+
+    LOCAL_READ = enum.auto()
+    LOCAL_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_WRITE = enum.auto()
+
+    @classmethod
+    def all(cls) -> "Permission":
+        return (
+            cls.LOCAL_READ | cls.LOCAL_WRITE | cls.REMOTE_READ | cls.REMOTE_WRITE
+        )
+
+
+class MemoryRegion:
+    """A registered, byte-backed virtual address range.
+
+    Addresses are absolute virtual addresses (the paper's API expresses
+    remote addresses as offsets from ``memory_pool_addr``; the translation
+    happens in the client library).
+    """
+
+    def __init__(
+        self,
+        base_addr: int,
+        length: int,
+        lkey: int,
+        rkey: int,
+        permissions: Permission = Permission.all(),
+        name: str = "",
+    ) -> None:
+        if length <= 0:
+            raise ValueError(f"region length must be positive: {length}")
+        if base_addr < 0:
+            raise ValueError(f"negative base address: {base_addr}")
+        self.base_addr = base_addr
+        self.length = length
+        self.lkey = lkey
+        self.rkey = rkey
+        self.permissions = permissions
+        self.name = name
+        self._data = bytearray(length)
+        #: Callbacks fired after any successful write: f(addr, length).
+        #: Used to model memory polling without simulating every poll —
+        #: e.g. the Cowbird client watching its bookkeeping block.
+        self.write_watchers: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def end_addr(self) -> int:
+        """One past the last valid address."""
+        return self.base_addr + self.length
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base_addr <= addr and addr + length <= self.end_addr
+
+    def _check_bounds(self, addr: int, length: int) -> int:
+        if length < 0:
+            raise BoundsError(f"negative access length: {length}")
+        if not self.contains(addr, length):
+            raise BoundsError(
+                f"access [{addr:#x}, {addr + length:#x}) outside region "
+                f"{self.name!r} [{self.base_addr:#x}, {self.end_addr:#x})"
+            )
+        return addr - self.base_addr
+
+    # ------------------------------------------------------------------
+    def read(self, addr: int, length: int) -> bytes:
+        """Local read (no permission distinction from remote for tests)."""
+        if Permission.LOCAL_READ not in self.permissions:
+            raise AccessError(f"region {self.name!r} not locally readable")
+        offset = self._check_bounds(addr, length)
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        if Permission.LOCAL_WRITE not in self.permissions:
+            raise AccessError(f"region {self.name!r} not locally writable")
+        offset = self._check_bounds(addr, len(data))
+        self._data[offset : offset + len(data)] = data
+        self._notify_write(addr, len(data))
+
+    def remote_read(self, addr: int, length: int, rkey: int) -> bytes:
+        """A responder-side RDMA READ: key + permission + bounds checks."""
+        if rkey != self.rkey:
+            raise AccessError(
+                f"bad rkey {rkey:#x} for region {self.name!r} (want {self.rkey:#x})"
+            )
+        if Permission.REMOTE_READ not in self.permissions:
+            raise AccessError(f"region {self.name!r} not remotely readable")
+        offset = self._check_bounds(addr, length)
+        return bytes(self._data[offset : offset + length])
+
+    def remote_write(self, addr: int, data: bytes, rkey: int) -> None:
+        """A responder-side RDMA WRITE: key + permission + bounds checks."""
+        if rkey != self.rkey:
+            raise AccessError(
+                f"bad rkey {rkey:#x} for region {self.name!r} (want {self.rkey:#x})"
+            )
+        if Permission.REMOTE_WRITE not in self.permissions:
+            raise AccessError(f"region {self.name!r} not remotely writable")
+        offset = self._check_bounds(addr, len(data))
+        self._data[offset : offset + len(data)] = data
+        self._notify_write(addr, len(data))
+
+    def _notify_write(self, addr: int, length: int) -> None:
+        if self.write_watchers:
+            for watcher in list(self.write_watchers):
+                watcher(addr, length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryRegion({self.name!r}, base={self.base_addr:#x}, "
+            f"len={self.length}, rkey={self.rkey:#x})"
+        )
+
+
+class RegionRegistry:
+    """Per-host registration table, as consulted by the host's RNIC.
+
+    Allocates non-overlapping virtual address ranges (bump allocator) and
+    unique lkeys/rkeys.  Lookup by address resolves the covering region;
+    lookup by rkey is what an RNIC does for incoming one-sided operations.
+    """
+
+    def __init__(self, base_addr: int = 0x10_0000, key_seed: int = 1) -> None:
+        self._next_addr = base_addr
+        self._key_counter = itertools.count(key_seed)
+        self._regions: list[MemoryRegion] = []
+        self._by_rkey: dict[int, MemoryRegion] = {}
+
+    def register(
+        self,
+        length: int,
+        permissions: Permission = Permission.all(),
+        name: str = "",
+        alignment: int = 64,
+    ) -> MemoryRegion:
+        """Allocate and register a fresh region of ``length`` bytes."""
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise ValueError(f"alignment must be a power of two: {alignment}")
+        base = (self._next_addr + alignment - 1) & ~(alignment - 1)
+        key = next(self._key_counter)
+        region = MemoryRegion(
+            base_addr=base,
+            length=length,
+            lkey=key,
+            rkey=key | 0x8000_0000,
+            permissions=permissions,
+            name=name or f"mr-{key}",
+        )
+        self._next_addr = region.end_addr
+        self._regions.append(region)
+        self._by_rkey[region.rkey] = region
+        return region
+
+    def deregister(self, region: MemoryRegion) -> None:
+        self._regions.remove(region)
+        del self._by_rkey[region.rkey]
+
+    def by_rkey(self, rkey: int) -> MemoryRegion:
+        region = self._by_rkey.get(rkey)
+        if region is None:
+            raise AccessError(f"unknown rkey {rkey:#x}")
+        return region
+
+    def by_addr(self, addr: int, length: int = 1) -> MemoryRegion:
+        for region in self._regions:
+            if region.contains(addr, length):
+                return region
+        raise BoundsError(f"address {addr:#x} (+{length}) not in any region")
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

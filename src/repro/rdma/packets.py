@@ -1,0 +1,391 @@
+"""RoCEv2 packet formats, packed bit-for-bit.
+
+RDMA over Converged Ethernet v2 carries InfiniBand transport packets in
+UDP (destination port 4791) over IPv4 over Ethernet.  The headers the
+paper's Table 4 lists — BTH for all packets, RETH on READ/WRITE
+requests, AETH on read responses and acknowledgments — are implemented
+here with ``struct``-level pack/unpack, because Cowbird-P4's central
+mechanism is *recycling*: taking a received packet, stripping one
+header, prepending another, and re-emitting it.  Tests assert on the
+resulting byte layout.
+
+Like the paper's prototype (footnote 1), we do not compute real ICRCs —
+programmable switches cannot — and carry a placeholder trailer instead.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.network import PRIORITY_NORMAL
+
+__all__ = [
+    "AddressBook",
+    "Aeth",
+    "Bth",
+    "HEADER_OVERHEAD_BYTES",
+    "Opcode",
+    "PSN_MODULUS",
+    "Reth",
+    "RocePacket",
+    "ROCE_UDP_PORT",
+    "SYNDROME_ACK",
+    "SYNDROME_NAK_PSN_ERROR",
+    "psn_add",
+    "psn_distance",
+]
+
+ROCE_UDP_PORT = 4791
+ETHERTYPE_IPV4 = 0x0800
+
+ETH_HEADER_BYTES = 14
+IPV4_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+BTH_BYTES = 12
+RETH_BYTES = 16
+AETH_BYTES = 4
+ICRC_BYTES = 4
+
+#: Fixed overhead of every RoCEv2 packet (Eth + IPv4 + UDP + BTH + ICRC).
+HEADER_OVERHEAD_BYTES = (
+    ETH_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES + BTH_BYTES + ICRC_BYTES
+)
+
+#: PSNs are 24-bit serial numbers.
+PSN_MODULUS = 1 << 24
+
+#: AETH syndrome for a positive acknowledgment (credit field saturated).
+SYNDROME_ACK = 0x1F
+#: AETH syndrome for a NAK / PSN sequence error (triggers Go-Back-N).
+SYNDROME_NAK_PSN_ERROR = 0x60
+
+
+def psn_add(psn: int, delta: int) -> int:
+    """24-bit wrapping PSN addition."""
+    return (psn + delta) % PSN_MODULUS
+
+
+def psn_distance(start: int, end: int) -> int:
+    """Forward distance from ``start`` to ``end`` in PSN space."""
+    return (end - start) % PSN_MODULUS
+
+
+class Opcode(enum.IntEnum):
+    """InfiniBand RC transport opcodes used by the reproduction."""
+
+    RC_SEND_ONLY = 0x04
+    RC_RDMA_WRITE_FIRST = 0x06
+    RC_RDMA_WRITE_MIDDLE = 0x07
+    RC_RDMA_WRITE_LAST = 0x08
+    RC_RDMA_WRITE_ONLY = 0x0A
+    RC_RDMA_READ_REQUEST = 0x0C
+    RC_RDMA_READ_RESPONSE_FIRST = 0x0D
+    RC_RDMA_READ_RESPONSE_MIDDLE = 0x0E
+    RC_RDMA_READ_RESPONSE_LAST = 0x0F
+    RC_RDMA_READ_RESPONSE_ONLY = 0x10
+    RC_ACKNOWLEDGE = 0x11
+
+    @property
+    def carries_reth(self) -> bool:
+        """RETH appears on READ requests and the first/only WRITE packet."""
+        return self in (
+            Opcode.RC_RDMA_READ_REQUEST,
+            Opcode.RC_RDMA_WRITE_FIRST,
+            Opcode.RC_RDMA_WRITE_ONLY,
+        )
+
+    @property
+    def carries_aeth(self) -> bool:
+        """AETH appears on read responses (except MIDDLE) and ACKs."""
+        return self in (
+            Opcode.RC_RDMA_READ_RESPONSE_FIRST,
+            Opcode.RC_RDMA_READ_RESPONSE_LAST,
+            Opcode.RC_RDMA_READ_RESPONSE_ONLY,
+            Opcode.RC_ACKNOWLEDGE,
+        )
+
+    @property
+    def carries_payload(self) -> bool:
+        return self in (
+            Opcode.RC_SEND_ONLY,
+            Opcode.RC_RDMA_WRITE_FIRST,
+            Opcode.RC_RDMA_WRITE_MIDDLE,
+            Opcode.RC_RDMA_WRITE_LAST,
+            Opcode.RC_RDMA_WRITE_ONLY,
+            Opcode.RC_RDMA_READ_RESPONSE_FIRST,
+            Opcode.RC_RDMA_READ_RESPONSE_MIDDLE,
+            Opcode.RC_RDMA_READ_RESPONSE_LAST,
+            Opcode.RC_RDMA_READ_RESPONSE_ONLY,
+        )
+
+    @property
+    def is_read_response(self) -> bool:
+        return self in (
+            Opcode.RC_RDMA_READ_RESPONSE_FIRST,
+            Opcode.RC_RDMA_READ_RESPONSE_MIDDLE,
+            Opcode.RC_RDMA_READ_RESPONSE_LAST,
+            Opcode.RC_RDMA_READ_RESPONSE_ONLY,
+        )
+
+    @property
+    def is_write(self) -> bool:
+        return self in (
+            Opcode.RC_RDMA_WRITE_FIRST,
+            Opcode.RC_RDMA_WRITE_MIDDLE,
+            Opcode.RC_RDMA_WRITE_LAST,
+            Opcode.RC_RDMA_WRITE_ONLY,
+        )
+
+
+#: Read-response to write conversion map — the heart of Cowbird-P4's
+#: Execute phase (Section 5.2 Phase III): Response First/Middle/Last/Only
+#: become Write First/Middle/Last/Only with the payload untouched.
+READ_RESPONSE_TO_WRITE = {
+    Opcode.RC_RDMA_READ_RESPONSE_FIRST: Opcode.RC_RDMA_WRITE_FIRST,
+    Opcode.RC_RDMA_READ_RESPONSE_MIDDLE: Opcode.RC_RDMA_WRITE_MIDDLE,
+    Opcode.RC_RDMA_READ_RESPONSE_LAST: Opcode.RC_RDMA_WRITE_LAST,
+    Opcode.RC_RDMA_READ_RESPONSE_ONLY: Opcode.RC_RDMA_WRITE_ONLY,
+}
+
+
+@dataclass
+class Bth:
+    """Base Transport Header (12 bytes)."""
+
+    opcode: Opcode
+    dest_qp: int
+    psn: int
+    ack_request: bool = False
+    partition_key: int = 0xFFFF
+    solicited: bool = False
+
+    def pack(self) -> bytes:
+        if not 0 <= self.dest_qp < (1 << 24):
+            raise ValueError(f"dest_qp out of 24-bit range: {self.dest_qp}")
+        if not 0 <= self.psn < PSN_MODULUS:
+            raise ValueError(f"psn out of 24-bit range: {self.psn}")
+        flags = 0x80 if self.solicited else 0x00
+        ack_psn = (0x8000_0000 if self.ack_request else 0) | self.psn
+        return struct.pack(
+            ">BBHI I",
+            int(self.opcode),
+            flags,
+            self.partition_key,
+            self.dest_qp,  # high byte reserved, low 24 bits QPN
+            ack_psn,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Bth":
+        opcode, flags, pkey, dqp_word, ack_psn = struct.unpack(">BBHI I", data[:BTH_BYTES])
+        return cls(
+            opcode=Opcode(opcode),
+            dest_qp=dqp_word & 0xFF_FFFF,
+            psn=ack_psn & 0xFF_FFFF,
+            ack_request=bool(ack_psn & 0x8000_0000),
+            partition_key=pkey,
+            solicited=bool(flags & 0x80),
+        )
+
+
+@dataclass
+class Reth:
+    """RDMA Extended Transport Header (16 bytes): vaddr, rkey, length."""
+
+    virtual_address: int
+    remote_key: int
+    dma_length: int
+
+    def pack(self) -> bytes:
+        if not 0 <= self.virtual_address < (1 << 64):
+            raise ValueError(f"virtual address out of range: {self.virtual_address}")
+        if not 0 <= self.dma_length < (1 << 32):
+            raise ValueError(f"dma_length out of range: {self.dma_length}")
+        return struct.pack(
+            ">QII", self.virtual_address, self.remote_key & 0xFFFF_FFFF, self.dma_length
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Reth":
+        vaddr, rkey, length = struct.unpack(">QII", data[:RETH_BYTES])
+        return cls(virtual_address=vaddr, remote_key=rkey, dma_length=length)
+
+
+@dataclass
+class Aeth:
+    """ACK Extended Transport Header (4 bytes): syndrome, MSN."""
+
+    syndrome: int
+    msn: int
+
+    def pack(self) -> bytes:
+        if not 0 <= self.msn < (1 << 24):
+            raise ValueError(f"msn out of 24-bit range: {self.msn}")
+        return struct.pack(">I", ((self.syndrome & 0xFF) << 24) | self.msn)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Aeth":
+        word, = struct.unpack(">I", data[:AETH_BYTES])
+        return cls(syndrome=(word >> 24) & 0xFF, msn=word & 0xFF_FFFF)
+
+    @property
+    def is_ack(self) -> bool:
+        return (self.syndrome & 0xE0) == 0x00 or self.syndrome == SYNDROME_ACK
+
+    @property
+    def is_nak(self) -> bool:
+        return (self.syndrome & 0xE0) == 0x60
+
+
+class AddressBook:
+    """Deterministic node-name <-> IPv4/MAC assignment for packing.
+
+    The simulator routes by node name; the wire format needs numeric
+    addresses.  Names are assigned sequential addresses in 10.0.0.0/24
+    on first use, and unpacking reverses the mapping.
+    """
+
+    def __init__(self) -> None:
+        self._name_to_ip: dict[str, int] = {}
+        self._ip_to_name: dict[int, str] = {}
+
+    def ip_of(self, name: str) -> int:
+        ip = self._name_to_ip.get(name)
+        if ip is None:
+            ip = (10 << 24) | (len(self._name_to_ip) + 1)
+            self._name_to_ip[name] = ip
+            self._ip_to_name[ip] = name
+        return ip
+
+    def name_of(self, ip: int) -> str:
+        try:
+            return self._ip_to_name[ip]
+        except KeyError:
+            raise KeyError(f"unknown IP {ip:#010x}") from None
+
+    def mac_of(self, name: str) -> bytes:
+        return b"\x02\x00" + struct.pack(">I", self.ip_of(name))
+
+
+#: Module-default address book (tests may supply their own).
+DEFAULT_ADDRESS_BOOK = AddressBook()
+
+
+@dataclass
+class RocePacket:
+    """A complete RoCEv2 packet: addressing, transport headers, payload.
+
+    Satisfies the network layer's Packet protocol (``src``/``dst``/
+    ``size_bytes``/``priority``) while carrying real header objects the
+    Cowbird-P4 pipeline rewrites.
+    """
+
+    src: str
+    dst: str
+    bth: Bth
+    reth: Optional[Reth] = None
+    aeth: Optional[Aeth] = None
+    payload: bytes = b""
+    priority: int = PRIORITY_NORMAL
+
+    def __post_init__(self) -> None:
+        opcode = self.bth.opcode
+        if opcode.carries_reth and self.reth is None:
+            raise ValueError(f"{opcode.name} requires a RETH header")
+        if not opcode.carries_reth and self.reth is not None:
+            raise ValueError(f"{opcode.name} must not carry a RETH header")
+        if opcode.carries_aeth and self.aeth is None:
+            raise ValueError(f"{opcode.name} requires an AETH header")
+        if opcode is Opcode.RC_ACKNOWLEDGE and self.payload:
+            raise ValueError("ACK packets carry no payload")
+        if opcode is Opcode.RC_RDMA_READ_REQUEST and self.payload:
+            raise ValueError("READ request packets carry no payload")
+
+    # ------------------------------------------------------------------
+    @property
+    def opcode(self) -> Opcode:
+        return self.bth.opcode
+
+    @property
+    def size_bytes(self) -> int:
+        size = HEADER_OVERHEAD_BYTES + len(self.payload)
+        if self.reth is not None:
+            size += RETH_BYTES
+        if self.aeth is not None:
+            size += AETH_BYTES
+        return size
+
+    # ------------------------------------------------------------------
+    def pack(self, book: Optional[AddressBook] = None) -> bytes:
+        """Serialize to wire bytes (placeholder ICRC, like the prototype)."""
+        book = book or DEFAULT_ADDRESS_BOOK
+        parts: list[bytes] = []
+        # Ethernet
+        parts.append(book.mac_of(self.dst) + book.mac_of(self.src))
+        parts.append(struct.pack(">H", ETHERTYPE_IPV4))
+        # IPv4 (minimal, no options): total length filled in below.
+        transport_len = self.size_bytes - ETH_HEADER_BYTES - IPV4_HEADER_BYTES
+        parts.append(
+            struct.pack(
+                ">BBHHHBBHII",
+                0x45,  # version 4, IHL 5
+                0,  # DSCP/ECN
+                IPV4_HEADER_BYTES + transport_len,
+                0,  # identification
+                0x4000,  # don't fragment
+                64,  # TTL
+                17,  # protocol: UDP
+                0,  # header checksum (placeholder)
+                book.ip_of(self.src),
+                book.ip_of(self.dst),
+            )
+        )
+        # UDP
+        udp_len = transport_len
+        parts.append(struct.pack(">HHHH", ROCE_UDP_PORT, ROCE_UDP_PORT, udp_len, 0))
+        # IB transport
+        parts.append(self.bth.pack())
+        if self.reth is not None:
+            parts.append(self.reth.pack())
+        if self.aeth is not None:
+            parts.append(self.aeth.pack())
+        parts.append(self.payload)
+        parts.append(b"\x00" * ICRC_BYTES)  # placeholder ICRC (footnote 1)
+        wire = b"".join(parts)
+        assert len(wire) == self.size_bytes, (len(wire), self.size_bytes)
+        return wire
+
+    @classmethod
+    def unpack(cls, data: bytes, book: Optional[AddressBook] = None) -> "RocePacket":
+        book = book or DEFAULT_ADDRESS_BOOK
+        if len(data) < HEADER_OVERHEAD_BYTES:
+            raise ValueError(f"packet too short: {len(data)} bytes")
+        offset = ETH_HEADER_BYTES
+        ip_fields = struct.unpack(">BBHHHBBHII", data[offset : offset + IPV4_HEADER_BYTES])
+        src = book.name_of(ip_fields[8])
+        dst = book.name_of(ip_fields[9])
+        offset += IPV4_HEADER_BYTES
+        dst_port = struct.unpack(">HHHH", data[offset : offset + UDP_HEADER_BYTES])[1]
+        if dst_port != ROCE_UDP_PORT:
+            raise ValueError(f"not a RoCEv2 packet (UDP port {dst_port})")
+        offset += UDP_HEADER_BYTES
+        bth = Bth.unpack(data[offset : offset + BTH_BYTES])
+        offset += BTH_BYTES
+        reth = aeth = None
+        if bth.opcode.carries_reth:
+            reth = Reth.unpack(data[offset : offset + RETH_BYTES])
+            offset += RETH_BYTES
+        if bth.opcode.carries_aeth:
+            aeth = Aeth.unpack(data[offset : offset + AETH_BYTES])
+            offset += AETH_BYTES
+        payload = data[offset : len(data) - ICRC_BYTES]
+        return cls(src=src, dst=dst, bth=bth, reth=reth, aeth=aeth, payload=payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RocePacket({self.opcode.name}, {self.src}->{self.dst}, "
+            f"qp={self.bth.dest_qp}, psn={self.bth.psn}, {len(self.payload)}B)"
+        )

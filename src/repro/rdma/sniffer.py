@@ -1,0 +1,156 @@
+"""Packet capture and protocol tracing.
+
+A :class:`PacketSniffer` taps one or more RNICs (via their ``rx_hook``)
+and/or switch pipelines, recording every RoCEv2 packet with its
+timestamp.  Captures render as human-readable protocol traces — the
+tool we used to validate the Cowbird-P4 recycling sequence — and can be
+filtered by opcode, QP, or time window.
+
+    sniffer = PacketSniffer(sim)
+    sniffer.attach_nic(compute.nic)
+    ... run ...
+    print(sniffer.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.rdma.packets import Opcode, RocePacket
+from repro.sim.engine import Simulator
+
+__all__ = ["CapturedPacket", "PacketSniffer"]
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One observation of a packet at a tap point."""
+
+    timestamp_ns: float
+    tap: str
+    src: str
+    dst: str
+    opcode: Opcode
+    dest_qp: int
+    psn: int
+    payload_bytes: int
+    size_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.timestamp_ns / 1000:10.3f}us  {self.tap:<10s} "
+            f"{self.src:>10s} -> {self.dst:<10s} {self.opcode.name:<28s} "
+            f"qp={self.dest_qp:<5d} psn={self.psn:<8d} "
+            f"payload={self.payload_bytes}B"
+        )
+
+
+class PacketSniffer:
+    """Records RoCEv2 packets from NIC and switch tap points."""
+
+    def __init__(self, sim: Simulator, max_packets: int = 100_000) -> None:
+        self.sim = sim
+        self.max_packets = max_packets
+        self.packets: list[CapturedPacket] = []
+        self.dropped_over_capacity = 0
+
+    # ------------------------------------------------------------------
+    # Tap points
+    # ------------------------------------------------------------------
+    def attach_nic(self, nic, tap_name: Optional[str] = None) -> None:
+        """Record every packet delivered to ``nic`` (chains rx hooks)."""
+        name = tap_name or f"rx@{nic.node}"
+        previous = nic.rx_hook
+
+        def hook(packet: RocePacket) -> None:
+            self._record(name, packet)
+            if previous is not None:
+                previous(packet)
+
+        nic.rx_hook = hook
+
+    def attach_switch(self, switch, tap_name: str = "switch") -> None:
+        """Record every packet traversing ``switch`` (wraps its pipeline)."""
+        previous = switch.pipeline
+
+        def pipeline(packet, link):
+            if isinstance(packet, RocePacket):
+                self._record(tap_name, packet)
+            if previous is not None:
+                return previous(packet, link)
+            return [packet]
+
+        switch.pipeline = pipeline
+
+    def _record(self, tap: str, packet: RocePacket) -> None:
+        if len(self.packets) >= self.max_packets:
+            self.dropped_over_capacity += 1
+            return
+        self.packets.append(
+            CapturedPacket(
+                timestamp_ns=self.sim.now,
+                tap=tap,
+                src=packet.src,
+                dst=packet.dst,
+                opcode=packet.opcode,
+                dest_qp=packet.bth.dest_qp,
+                psn=packet.bth.psn,
+                payload_bytes=len(packet.payload),
+                size_bytes=packet.size_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        opcode: Optional[Opcode] = None,
+        dest_qp: Optional[int] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        since_ns: float = 0.0,
+        until_ns: Optional[float] = None,
+    ) -> list[CapturedPacket]:
+        """Select captured packets by header fields and time window."""
+        out = []
+        for packet in self.packets:
+            if opcode is not None and packet.opcode is not opcode:
+                continue
+            if dest_qp is not None and packet.dest_qp != dest_qp:
+                continue
+            if src is not None and packet.src != src:
+                continue
+            if dst is not None and packet.dst != dst:
+                continue
+            if packet.timestamp_ns < since_ns:
+                continue
+            if until_ns is not None and packet.timestamp_ns > until_ns:
+                continue
+            out.append(packet)
+        return out
+
+    def opcode_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for packet in self.packets:
+            counts[packet.opcode.name] = counts.get(packet.opcode.name, 0) + 1
+        return counts
+
+    def bytes_by_direction(self) -> dict[tuple[str, str], int]:
+        totals: dict[tuple[str, str], int] = {}
+        for packet in self.packets:
+            key = (packet.src, packet.dst)
+            totals[key] = totals.get(key, 0) + packet.size_bytes
+        return totals
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable trace (optionally the first ``limit`` lines)."""
+        selected = self.packets[:limit] if limit else self.packets
+        lines = [packet.describe() for packet in selected]
+        if limit and len(self.packets) > limit:
+            lines.append(f"... {len(self.packets) - limit} more packets")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.packets)

@@ -1,0 +1,324 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a small, SimPy-flavoured core purpose-built for this
+reproduction.  A :class:`Simulator` owns a priority queue of timestamped
+events; :class:`Process` objects are Python generators that ``yield``
+either
+
+* a ``float``/``int`` — sleep for that many simulated nanoseconds,
+* a :class:`Future` — suspend until the future resolves (the resolved
+  value is sent back into the generator),
+* another :class:`Process` — suspend until that process terminates,
+* ``None`` — yield the floor briefly (resume at the same timestamp, after
+  already-queued events).
+
+Determinism: events firing at the same timestamp are ordered by a
+monotonically increasing sequence number, so two runs with the same seed
+interleave identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Future",
+    "Process",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+class Future:
+    """A one-shot value container that processes can wait on.
+
+    A future starts *pending*; exactly one call to :meth:`resolve` or
+    :meth:`fail` moves it to *done*.  Callbacks added with
+    :meth:`add_callback` fire at resolution time (immediately if already
+    done).  Processes waiting on a failed future get the exception thrown
+    into their generator.
+    """
+
+    __slots__ = ("sim", "_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future value read before resolution")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def resolve(self, value: Any = None) -> None:
+        """Mark the future done with ``value`` and fire callbacks."""
+        if self._done:
+            raise SimulationError("future resolved twice")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def fail(self, exception: BaseException) -> None:
+        """Mark the future failed with ``exception`` and fire callbacks."""
+        if self._done:
+            raise SimulationError("future resolved twice")
+        self._done = True
+        self._exception = exception
+        self._fire()
+
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class AllOf(Future):
+    """Future that resolves when every child future has resolved.
+
+    Resolves with the list of child values, in the order the children
+    were given.  Fails as soon as any child fails.
+    """
+
+    def __init__(self, sim: "Simulator", children: Iterable[Future]) -> None:
+        super().__init__(sim)
+        self._children = list(children)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.resolve([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Future) -> None:
+        if self.done:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.resolve([c.value for c in self._children])
+
+
+class AnyOf(Future):
+    """Future that resolves when the first child future resolves.
+
+    Resolves with a ``(index, value)`` tuple identifying the winner.
+    """
+
+    def __init__(self, sim: "Simulator", children: Iterable[Future]) -> None:
+        super().__init__(sim)
+        self._children = list(children)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one child")
+        for index, child in enumerate(self._children):
+            child.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Future], None]:
+        def on_child(child: Future) -> None:
+            if self.done:
+                return
+            if child.exception is not None:
+                self.fail(child.exception)
+            else:
+                self.resolve((index, child.value))
+
+        return on_child
+
+
+class Process:
+    """A simulated activity driven by a generator.
+
+    Created through :meth:`Simulator.spawn`.  A process is itself
+    awaitable: yielding a process from another generator suspends the
+    caller until the process finishes, with the process's return value
+    (via ``return`` inside the generator) delivered to the caller.
+    """
+
+    __slots__ = ("sim", "name", "_generator", "_completion", "_started")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._completion = Future(sim)
+        self._started = False
+
+    @property
+    def completion(self) -> Future:
+        """Future resolved with the generator's return value."""
+        return self._completion
+
+    @property
+    def alive(self) -> bool:
+        return not self._completion.done
+
+    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
+        """Advance the generator until its next suspension point."""
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._completion.resolve(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via future
+            self._completion.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            self.sim.call_at(self.sim.now, lambda: self._step(None))
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                self._step(throw=SimulationError(f"negative delay: {target}"))
+                return
+            self.sim.call_at(self.sim.now + target, lambda: self._step(None))
+        elif isinstance(target, Process):
+            target.completion.add_callback(self._on_future)
+        elif isinstance(target, Future):
+            target.add_callback(self._on_future)
+        else:
+            self._step(
+                throw=SimulationError(
+                    f"process {self.name!r} yielded unsupported value {target!r}"
+                )
+            )
+
+    def _on_future(self, future: Future) -> None:
+        if future.exception is not None:
+            # Deliver the failure into the generator on its own event so
+            # resolution-time callbacks never reenter user code directly.
+            self.sim.call_at(self.sim.now, lambda: self._step(throw=future.exception))
+        else:
+            self.sim.call_at(self.sim.now, lambda: self._step(future.value))
+
+
+class Simulator:
+    """The event loop: a clock plus a deterministic priority queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` nanoseconds."""
+        self.call_at(self.now + delay, callback)
+
+    def future(self) -> Future:
+        """Create a pending :class:`Future` bound to this simulator."""
+        return Future(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Future:
+        """A future that resolves with ``value`` after ``delay`` ns."""
+        future = Future(self)
+        self.call_after(delay, lambda: future.resolve(value))
+        return future
+
+    def all_of(self, futures: Iterable[Future]) -> AllOf:
+        return AllOf(self, futures)
+
+    def any_of(self, futures: Iterable[Future]) -> AnyOf:
+        return AnyOf(self, futures)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a new process from ``generator`` on the next event."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        self.call_at(self.now, lambda: process._step(None))
+        return process
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain events, optionally stopping the clock at ``until``.
+
+        Returns the simulation time when the run stopped.  With
+        ``until=None`` the run continues until no events remain (which
+        never happens while periodic processes are alive — pass a bound).
+        """
+        while self._queue:
+            when, _seq, callback = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = when
+            callback()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_complete(self, process: Process, deadline: Optional[float] = None) -> Any:
+        """Run until ``process`` terminates; return its result.
+
+        Raises :class:`SimulationError` if the event queue empties or the
+        ``deadline`` passes before the process completes.
+        """
+        while not process.completion.done:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: no events pending but process {process.name!r} alive"
+                )
+            when, _seq, callback = heapq.heappop(self._queue)
+            if deadline is not None and when > deadline:
+                raise SimulationError(
+                    f"process {process.name!r} missed deadline {deadline}"
+                )
+            self.now = when
+            callback()
+        return process.completion.value
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,166 @@
+"""A windowed, greedy TCP-like flow model for the contention experiment.
+
+Figure 14 measures the aggregate bandwidth of ten contending iperf3 TCP
+flows while Cowbird runs concurrently.  That experiment is a *queueing*
+question — how much link capacity is left for best-effort traffic when
+Cowbird's RDMA packets are queued at higher priority — so the flow model
+only needs to be greedy and window-limited, not a full congestion-control
+implementation.  Each flow keeps ``window`` segments in flight; the
+receiver acknowledges each segment, and the sender refills the window on
+every ACK.  With a large window the flow saturates whatever capacity the
+strict-priority arbiter leaves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Link, PRIORITY_NORMAL
+
+__all__ = ["TcpFlow", "TcpSegment", "TcpSink"]
+
+
+@dataclass
+class TcpSegment:
+    """A data segment or its acknowledgment."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    priority: int
+    flow_id: int
+    sequence: int
+    is_ack: bool = False
+
+
+class TcpSink:
+    """Receiver side: counts delivered payload and returns ACKs.
+
+    The sink needs a path back to the sender; the caller wires
+    ``ack_link`` after construction (links and endpoints are mutually
+    referential).
+    """
+
+    ACK_BYTES = 64
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ack_link: Optional[Link] = None
+        self._flows: dict[int, "TcpFlow"] = {}
+        self.bytes_received = 0
+
+    def register_flow(self, flow: "TcpFlow") -> None:
+        self._flows[flow.flow_id] = flow
+
+    def receive(self, packet, link) -> None:
+        if not isinstance(packet, TcpSegment) or packet.is_ack:
+            return
+        self.bytes_received += packet.size_bytes
+        flow = self._flows.get(packet.flow_id)
+        if flow is not None:
+            flow.bytes_delivered += packet.size_bytes
+        if self.ack_link is not None:
+            ack = TcpSegment(
+                src=self.name,
+                dst=packet.src,
+                size_bytes=self.ACK_BYTES,
+                priority=packet.priority,
+                flow_id=packet.flow_id,
+                sequence=packet.sequence,
+                is_ack=True,
+            )
+            self.ack_link.send(ack)
+
+
+class TcpFlow:
+    """Sender side: keeps ``window`` segments outstanding on ``link``."""
+
+    _next_flow_id = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: str,
+        link: Link,
+        segment_bytes: int = 1500,
+        window: int = 64,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        TcpFlow._next_flow_id += 1
+        self.flow_id = TcpFlow._next_flow_id
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.link = link
+        self.segment_bytes = segment_bytes
+        self.window = window
+        self.priority = priority
+        self._next_seq = 0
+        self._in_flight = 0
+        self._running = False
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.started_at = 0.0
+
+    def start(self) -> None:
+        """Open the window: inject the initial burst of segments."""
+        self._running = True
+        self.started_at = self.sim.now
+        for _ in range(self.window):
+            self._send_segment()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def on_ack(self, segment: TcpSegment) -> None:
+        """Window refill on acknowledgment."""
+        self._in_flight = max(0, self._in_flight - 1)
+        if self._running:
+            self._send_segment()
+
+    def _send_segment(self) -> None:
+        self._next_seq += 1
+        self._in_flight += 1
+        self.bytes_sent += self.segment_bytes
+        segment = TcpSegment(
+            src=self.src,
+            dst=self.dst,
+            size_bytes=self.segment_bytes,
+            priority=self.priority,
+            flow_id=self.flow_id,
+            sequence=self._next_seq,
+        )
+        self.link.send(segment)
+
+    def achieved_gbps(self, now_ns: float) -> float:
+        elapsed = now_ns - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes_delivered * 8.0) / elapsed
+
+
+class TcpAckDemux:
+    """Endpoint that routes returning ACKs back to their flows.
+
+    Placed at the sender host: data segments originate from flows, ACKs
+    come back through the host's ingress link and must reach the right
+    :class:`TcpFlow` instance.
+    """
+
+    def __init__(self) -> None:
+        self._flows: dict[int, TcpFlow] = {}
+
+    def register_flow(self, flow: TcpFlow) -> None:
+        self._flows[flow.flow_id] = flow
+
+    def receive(self, packet, link) -> None:
+        if isinstance(packet, TcpSegment) and packet.is_ack:
+            flow = self._flows.get(packet.flow_id)
+            if flow is not None:
+                flow.on_ack(packet)

@@ -1,0 +1,44 @@
+"""Unit helpers for the simulator.
+
+The simulator's clock is a float measured in **nanoseconds**.  Bandwidths
+are expressed in **bits per nanosecond** so that transmission times fall
+out of a single division.  These constants keep call sites readable::
+
+    link = Link(bandwidth=100 * GBPS, propagation_delay=500 * NS)
+    yield sim.delay(2 * US)
+"""
+
+from __future__ import annotations
+
+#: One simulated nanosecond (the base time unit).
+NS: float = 1.0
+#: One simulated microsecond.
+US: float = 1_000.0
+#: One simulated millisecond.
+MS: float = 1_000_000.0
+#: One simulated second.
+S: float = 1_000_000_000.0
+
+#: One gigabit per second, expressed in bits per nanosecond.
+GBPS: float = 1.0
+
+#: Sizes in bytes.
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return bits / 8.0
+
+
+def transmission_time_ns(size_bytes: float, bandwidth_gbps: float) -> float:
+    """Serialization delay of ``size_bytes`` on a ``bandwidth_gbps`` link.
+
+    >>> transmission_time_ns(1250, 100)  # 1250 B at 100 Gb/s
+    100.0
+    """
+    if bandwidth_gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+    return (size_bytes * 8.0) / bandwidth_gbps

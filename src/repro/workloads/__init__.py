@@ -1,0 +1,27 @@
+"""Workload generators: the hash-table microbenchmark and YCSB."""
+
+from repro.workloads.hashtable import (
+    HashTable,
+    HashTableConfig,
+    ProbeResult,
+    probe_worker,
+)
+from repro.workloads.ycsb import (
+    UniformGenerator,
+    YcsbConfig,
+    YcsbOp,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "HashTable",
+    "HashTableConfig",
+    "ProbeResult",
+    "UniformGenerator",
+    "YcsbConfig",
+    "YcsbOp",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "probe_worker",
+]

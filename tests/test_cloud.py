@@ -1,0 +1,73 @@
+"""Unit tests for the pricing/cost model (repro.cloud, Table 1)."""
+
+import pytest
+
+from repro.cloud.pricing import (
+    PRICE_TABLE,
+    VmPrice,
+    cost_efficiency_gain,
+    format_table,
+    offload_cost_per_compute_node,
+    spot_discount,
+)
+
+
+class TestPriceTable:
+    def test_three_providers(self):
+        assert {p.provider for p in PRICE_TABLE} == {"GCP", "AWS", "Azure"}
+
+    def test_paper_values(self):
+        gcp = next(p for p in PRICE_TABLE if p.provider == "GCP")
+        assert gcp.on_demand_hourly == pytest.approx(0.257)
+        assert gcp.spot_hourly == pytest.approx(0.059)
+        azure = next(p for p in PRICE_TABLE if p.provider == "Azure")
+        assert azure.spot_hourly == pytest.approx(0.023)
+
+    def test_discount_up_to_90_percent(self):
+        """Section 2.2: 'the cost can be reduced by up to 90%'."""
+        best = max(spot_discount(p) for p in PRICE_TABLE)
+        assert 0.85 <= best <= 0.95
+
+    def test_all_discounts_substantial(self):
+        assert all(spot_discount(p) > 0.7 for p in PRICE_TABLE)
+
+    def test_invalid_prices_rejected(self):
+        with pytest.raises(ValueError):
+            VmPrice("X", "t", on_demand_hourly=0.1, spot_hourly=0.2)
+        with pytest.raises(ValueError):
+            VmPrice("X", "t", on_demand_hourly=0.0, spot_hourly=0.0)
+
+
+class TestCostAnalysis:
+    def test_offload_cost_amortizes_across_nodes(self):
+        price = PRICE_TABLE[0]
+        one = offload_cost_per_compute_node(price, compute_nodes_served=1)
+        four = offload_cost_per_compute_node(price, compute_nodes_served=4)
+        assert four == pytest.approx(one / 4)
+
+    def test_offload_always_profitable_at_paper_numbers(self):
+        """Freeing >80% of compute CPU for a fraction of a spot core is
+        a clear win on every provider."""
+        for price in PRICE_TABLE:
+            assert cost_efficiency_gain(price) > 0.5
+
+    def test_gain_increases_with_nodes_served(self):
+        price = PRICE_TABLE[1]
+        single = cost_efficiency_gain(price, compute_nodes_served=1)
+        multi = cost_efficiency_gain(price, compute_nodes_served=4)
+        assert multi > single
+
+    def test_zero_freed_cpu_is_a_loss(self):
+        price = PRICE_TABLE[0]
+        assert cost_efficiency_gain(price, cpu_fraction_freed=0.0) < 0
+
+    def test_validation(self):
+        price = PRICE_TABLE[0]
+        with pytest.raises(ValueError):
+            offload_cost_per_compute_node(price, compute_nodes_served=0)
+        with pytest.raises(ValueError):
+            cost_efficiency_gain(price, cpu_fraction_freed=1.5)
+
+    def test_render(self):
+        rendered = format_table()
+        assert "GCP" in rendered and "spot" in rendered.lower()

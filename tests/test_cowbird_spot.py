@@ -1,0 +1,317 @@
+"""Integration tests for the Cowbird-Spot offload engine (Section 6)."""
+
+import pytest
+
+from repro.cowbird.deploy import deploy_cowbird
+from repro.cowbird.spot_engine import SpotEngineConfig
+from repro.cowbird.wire import RwType
+
+
+def run_app(dep, generator, deadline=200_000_000):
+    return dep.sim.run_until_complete(dep.sim.spawn(generator), deadline=deadline)
+
+
+def read_write_roundtrip(dep, offset=0, payload=b"spot-engine-payload"):
+    inst = dep.instances[0]
+    thread = dep.compute.cpu.thread()
+
+    def app():
+        poll = inst.poll_create()
+        wid = yield from inst.async_write(thread, 0, offset, payload)
+        inst.poll_add(poll, wid)
+        yield from inst.poll_wait(thread, poll, max_ret=1)
+        rid = yield from inst.async_read(thread, 0, offset, len(payload))
+        inst.poll_add(poll, rid)
+        events = yield from inst.poll_wait(thread, poll, max_ret=1)
+        return inst.fetch_response(events[0].request_id)
+
+    return run_app(dep, app())
+
+
+class TestBasicOperation:
+    def test_read_returns_remote_bytes(self):
+        dep = deploy_cowbird(engine="spot")
+        dep.pool_region().write(dep.region.translate(64), b"hello-cowbird")
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+
+        def app():
+            poll = inst.poll_create()
+            rid = yield from inst.async_read(thread, 0, 64, 13)
+            inst.poll_add(poll, rid)
+            events = yield from inst.poll_wait(thread, poll)
+            return inst.fetch_response(events[0].request_id)
+
+        assert run_app(dep, app()) == b"hello-cowbird"
+
+    def test_write_then_read_roundtrip(self):
+        dep = deploy_cowbird(engine="spot")
+        assert read_write_roundtrip(dep) == b"spot-engine-payload"
+
+    def test_write_lands_in_pool_memory(self):
+        dep = deploy_cowbird(engine="spot")
+        read_write_roundtrip(dep, offset=256, payload=b"persisted")
+        assert dep.pool_region().read(dep.region.translate(256), 9) == b"persisted"
+
+    def test_compute_node_posts_no_rdma_messages(self):
+        """The headline property: zero compute-side RDMA operations."""
+        dep = deploy_cowbird(engine="spot")
+        read_write_roundtrip(dep)
+        assert dep.compute.nic.stats.messages_initiated == 0
+
+    def test_compute_cpu_time_is_tens_of_ns_per_op(self):
+        dep = deploy_cowbird(engine="spot")
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+        n = 20
+
+        def app():
+            poll = inst.poll_create()
+            for i in range(n):
+                rid = yield from inst.async_read(thread, 0, i * 64, 64)
+                inst.poll_add(poll, rid)
+            done = 0
+            while done < n:
+                events = yield from inst.poll_wait(thread, poll, max_ret=n)
+                done += len(events)
+
+        run_app(dep, app())
+        comm = thread.stats.cpu_ns.get("comm", 0.0)
+        assert comm / n < 100  # tens of ns per op, not ~630
+
+    def test_large_transfer_spans_mtu_segments(self):
+        dep = deploy_cowbird(engine="spot")
+        payload = bytes(i % 251 for i in range(5000))
+        assert read_write_roundtrip(dep, payload=payload) == payload
+
+    def test_many_interleaved_ops(self):
+        dep = deploy_cowbird(engine="spot", seed=7)
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+        import random
+
+        rng = random.Random(7)
+        expected = {}
+
+        def app():
+            poll = inst.poll_create()
+            pending = 0
+            for i in range(40):
+                offset = i * 128
+                if rng.random() < 0.5:
+                    data = bytes([i]) * 64
+                    expected[offset] = data
+                    rid = yield from inst.async_write(thread, 0, offset, data)
+                else:
+                    rid = yield from inst.async_read(thread, 0, offset, 64)
+                inst.poll_add(poll, rid)
+                pending += 1
+            while pending:
+                events = yield from inst.poll_wait(thread, poll, max_ret=64)
+                pending -= len(events)
+
+        run_app(dep, app())
+        pool_region = dep.pool_region()
+        for offset, data in expected.items():
+            assert pool_region.read(dep.region.translate(offset), 64) == data
+
+
+class TestBatching:
+    def test_batch_flush_counts(self):
+        config = SpotEngineConfig(batch_size=8)
+        dep = deploy_cowbird(engine="spot", spot_config=config)
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+
+        def app():
+            poll = inst.poll_create()
+            for i in range(16):
+                rid = yield from inst.async_read(thread, 0, i * 64, 64)
+                inst.poll_add(poll, rid)
+            done = 0
+            while done < 16:
+                events = yield from inst.poll_wait(thread, poll, max_ret=16)
+                done += len(events)
+
+        run_app(dep, app())
+        stats = dep.engine.stats
+        assert stats.reads_executed == 16
+        assert stats.batches_flushed >= 2
+        assert stats.batch_entries_total == 16
+
+    def test_batching_disabled_means_one_flush_per_read(self):
+        config = SpotEngineConfig(batch_size=1)
+        dep = deploy_cowbird(engine="spot", spot_config=config)
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+
+        def app():
+            poll = inst.poll_create()
+            for i in range(5):
+                rid = yield from inst.async_read(thread, 0, i * 64, 64)
+                inst.poll_add(poll, rid)
+            done = 0
+            while done < 5:
+                events = yield from inst.poll_wait(thread, poll, max_ret=8)
+                done += len(events)
+
+        run_app(dep, app())
+        assert dep.engine.stats.batches_flushed == 5
+
+    def test_partial_batch_flushes_when_idle(self):
+        """A batch below BATCH_SIZE must not wait forever."""
+        config = SpotEngineConfig(batch_size=100)
+        dep = deploy_cowbird(engine="spot", spot_config=config)
+        assert read_write_roundtrip(dep) == b"spot-engine-payload"
+        assert dep.engine.stats.batches_flushed >= 1
+
+    def test_batching_reduces_rdma_calls(self):
+        def run_with(batch_size):
+            dep = deploy_cowbird(
+                engine="spot", spot_config=SpotEngineConfig(batch_size=batch_size)
+            )
+            inst = dep.instances[0]
+            thread = dep.compute.cpu.thread()
+
+            def app():
+                poll = inst.poll_create()
+                for i in range(32):
+                    rid = yield from inst.async_read(thread, 0, i * 64, 64)
+                    inst.poll_add(poll, rid)
+                done = 0
+                while done < 32:
+                    events = yield from inst.poll_wait(thread, poll, max_ret=32)
+                    done += len(events)
+
+            run_app(dep, app())
+            return dep.compute.nic.stats.packets_in
+
+        # Batched responses mean far fewer packets hit the compute RNIC.
+        assert run_with(batch_size=32) < run_with(batch_size=1)
+
+
+class TestConsistency:
+    def test_read_after_write_same_address_sees_new_data(self):
+        """Per-range linearizability: the overlap check must hold the
+        read until the conflicting write completes."""
+        dep = deploy_cowbird(engine="spot")
+        dep.pool_region().write(dep.region.translate(0), b"OLD-OLD-")
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+
+        def app():
+            poll = inst.poll_create()
+            wid = yield from inst.async_write(thread, 0, 0, b"NEW-NEW-")
+            rid = yield from inst.async_read(thread, 0, 0, 8)
+            inst.poll_add(poll, wid)
+            inst.poll_add(poll, rid)
+            done = 0
+            while done < 2:
+                events = yield from inst.poll_wait(thread, poll, max_ret=2)
+                done += len(events)
+            return inst.fetch_response(rid)
+
+        assert run_app(dep, app()) == b"NEW-NEW-"
+
+    def test_non_overlapping_read_not_stalled(self):
+        dep = deploy_cowbird(engine="spot")
+        dep.pool_region().write(dep.region.translate(4096), b"disjoint")
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+
+        def app():
+            poll = inst.poll_create()
+            wid = yield from inst.async_write(thread, 0, 0, b"w" * 512)
+            rid = yield from inst.async_read(thread, 0, 4096, 8)
+            inst.poll_add(poll, wid)
+            inst.poll_add(poll, rid)
+            done = 0
+            while done < 2:
+                events = yield from inst.poll_wait(thread, poll, max_ret=2)
+                done += len(events)
+            return inst.fetch_response(rid)
+
+        assert run_app(dep, app()) == b"disjoint"
+        assert dep.engine.stats.overlap_stalls == 0
+
+    def test_overlap_stall_is_counted(self):
+        dep = deploy_cowbird(engine="spot")
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+
+        def app():
+            poll = inst.poll_create()
+            wid = yield from inst.async_write(thread, 0, 0, b"x" * 256)
+            rid = yield from inst.async_read(thread, 0, 128, 64)  # overlaps
+            inst.poll_add(poll, wid)
+            inst.poll_add(poll, rid)
+            done = 0
+            while done < 2:
+                events = yield from inst.poll_wait(thread, poll, max_ret=2)
+                done += len(events)
+
+        run_app(dep, app())
+        assert dep.engine.stats.overlap_stalls >= 1
+
+    def test_writes_complete_in_issue_order(self):
+        dep = deploy_cowbird(engine="spot")
+        inst = dep.instances[0]
+        thread = dep.compute.cpu.thread()
+        completions = []
+
+        def app():
+            poll = inst.poll_create()
+            ids = []
+            for i in range(6):
+                wid = yield from inst.async_write(thread, 0, i * 64, bytes([i]) * 8)
+                inst.poll_add(poll, wid)
+                ids.append(wid)
+            done = 0
+            while done < 6:
+                events = yield from inst.poll_wait(thread, poll, max_ret=8)
+                completions.extend(e.request_id for e in events)
+                done += len(events)
+            return ids
+
+        ids = run_app(dep, app())
+        assert completions == ids  # linearized, FIFO per type
+
+
+class TestResourceUsage:
+    def test_agent_limited_to_one_core(self):
+        dep = deploy_cowbird(engine="spot")
+        assert dep.agent_host.cpu.physical_cores == 1
+        assert dep.agent_host.cpu.hardware_threads == 2
+
+    def test_agent_cpu_accounted(self):
+        dep = deploy_cowbird(engine="spot")
+        read_write_roundtrip(dep)
+        assert dep.engine.agent_cpu_ns() > 0
+
+    def test_pool_needs_no_cpu(self):
+        dep = deploy_cowbird(engine="spot")
+        read_write_roundtrip(dep)
+        assert dep.pool_host.cpu is None
+
+
+class TestMultiInstance:
+    def test_two_instances_serviced_independently(self):
+        dep = deploy_cowbird(engine="spot", num_instances=2)
+        dep.pool_region().write(dep.region.translate(0), b"AAAA")
+        dep.pool_region().write(dep.region.translate(64), b"BBBB")
+        threads = [dep.compute.cpu.thread() for _ in range(2)]
+        results = {}
+
+        def app(index, inst, thread, offset):
+            poll = inst.poll_create()
+            rid = yield from inst.async_read(thread, 0, offset, 4)
+            inst.poll_add(poll, rid)
+            events = yield from inst.poll_wait(thread, poll)
+            results[index] = inst.fetch_response(events[0].request_id)
+
+        sim = dep.sim
+        p1 = sim.spawn(app(0, dep.instances[0], threads[0], 0))
+        p2 = sim.spawn(app(1, dep.instances[1], threads[1], 64))
+        sim.run_until_complete(p1, deadline=100_000_000)
+        sim.run_until_complete(p2, deadline=100_000_000)
+        assert results == {0: b"AAAA", 1: b"BBBB"}

@@ -1,0 +1,179 @@
+"""Integration tests for the per-figure experiment drivers.
+
+Each driver runs at a tiny scale here; the assertions check the *shape*
+claims the paper makes, not absolute numbers (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import fig01, fig02, fig08, fig12, fig13, tab01, tab05
+from repro.experiments.common import run_microbench
+from repro.sim.cpu import CostModel
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig01.run(ops_per_thread=150)
+
+    def test_all_thread_counts_present(self, rows):
+        assert [r.threads for r in rows] == [1, 2, 4]
+
+    def test_sync_rdma_far_below_local(self, rows):
+        for row in rows:
+            assert row.normalized["one-sided"] < 0.15
+            assert row.normalized["two-sided"] < 0.15
+
+    def test_async_beats_sync_by_order_of_magnitude(self, rows):
+        for row in rows:
+            assert row.normalized["async"] > 3 * row.normalized["one-sided"]
+
+    def test_cowbird_closes_most_of_the_gap(self, rows):
+        for row in rows:
+            assert row.normalized["cowbird"] > 0.5
+            assert row.normalized["cowbird"] > row.normalized["async"]
+
+    def test_rendering(self, rows):
+        out = fig01.format_rows(rows)
+        assert "cowbird" in out and "threads" in out
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return fig02.run()
+
+    def test_rdma_total_in_paper_band(self, breakdown):
+        assert 550 <= breakdown.rdma_total_ns <= 720
+
+    def test_order_of_magnitude_gap(self, breakdown):
+        assert breakdown.speedup >= 10
+
+    def test_measured_matches_model(self, breakdown):
+        """The simulation must charge what the model declares."""
+        assert breakdown.rdma_measured_ns == pytest.approx(
+            breakdown.rdma_total_ns, rel=0.05
+        )
+        assert breakdown.cowbird_measured_ns <= 3 * breakdown.cowbird_total_ns
+
+    def test_segments_sum(self, breakdown):
+        assert sum(breakdown.rdma_segments.values()) == breakdown.rdma_total_ns
+
+    def test_rendering(self, breakdown):
+        out = fig02.format_breakdown(breakdown)
+        assert "doorbell" in out
+
+
+class TestFig08Shapes:
+    """One panel at reduced scale; the bench target runs the full grid."""
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return fig08.run(
+            record_sizes=(64,), thread_counts=(1, 4), ops_per_thread=200,
+            systems=("one-sided", "async", "cowbird", "local"),
+        )
+
+    def get(self, cells, system, threads):
+        return next(
+            c for c in cells if c.system == system and c.threads == threads
+        )
+
+    def test_ordering_holds(self, cells):
+        for threads in (1, 4):
+            sync = self.get(cells, "one-sided", threads).throughput_mops
+            async_ = self.get(cells, "async", threads).throughput_mops
+            cowbird = self.get(cells, "cowbird", threads).throughput_mops
+            local = self.get(cells, "local", threads).throughput_mops
+            assert sync < async_ < cowbird <= local * 1.05
+
+    def test_bandwidth_ceiling_formula(self):
+        # 512 B records: ~(512+58+4+4) bytes per record at 100 Gb/s.
+        ceiling = fig08.bandwidth_ceiling_mops(512)
+        assert 20 < ceiling < 25
+
+    def test_rendering(self, cells):
+        assert "panel" in fig08.format_cells(cells)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig12.run(thread_counts=(1, 4), ops_per_thread=150)
+
+    def test_cowbird_order_of_magnitude_above_aifm(self, results):
+        assert fig12.max_speedup(results) >= 10
+
+    def test_aifm_capped_by_iokernel(self, results):
+        aifm = [r for r in results if r.system == "aifm"]
+        # Scaling from 1 to 4 threads is sublinear: shared IOKernel.
+        by_threads = {r.threads: r.throughput_mops for r in aifm}
+        assert by_threads[4] < 3.0 * by_threads[1]
+
+    def test_rendering(self, results):
+        assert "speedup" in fig12.format_results(results)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig13.run(record_sizes=(64, 1024), ops=120)
+
+    def get(self, rows, system, size):
+        return next(
+            r for r in rows if r.system == system and r.record_bytes == size
+        )
+
+    def test_sync_rdma_is_the_latency_floor(self, rows):
+        for size in (64, 1024):
+            sync = self.get(rows, "one-sided", size)
+            batched = self.get(rows, "async", size)
+            assert sync.median_us < batched.median_us
+
+    def test_unbatched_cowbird_close_to_sync_rdma(self, rows):
+        """Figure 13: without batching, Cowbird's latency is similar to
+        synchronous one-sided RDMA (small protocol delta)."""
+        for size in (64, 1024):
+            sync = self.get(rows, "one-sided", size)
+            cowbird = self.get(rows, "cowbird-nb", size)
+            assert cowbird.median_us < sync.median_us + 12.0
+
+    def test_batched_cowbird_beats_async_rdma(self, rows):
+        for size in (64, 1024):
+            async_ = self.get(rows, "async", size)
+            cowbird = self.get(rows, "cowbird", size)
+            assert cowbird.median_us < async_.median_us
+            assert cowbird.p99_us < async_.p99_us
+
+    def test_p99_at_least_median(self, rows):
+        for row in rows:
+            assert row.p99_us >= row.median_us
+
+    def test_rendering(self, rows):
+        assert "latency" in fig13.format_rows(rows)
+
+
+class TestTables:
+    def test_tab01_matches_paper(self):
+        result = tab01.run()
+        assert result["max_discount"] == pytest.approx(0.9025, abs=0.01)
+        assert len(result["rows"]) == 3
+        for provider, gain in result["efficiency_gain_single_node"].items():
+            assert gain > 0
+
+    def test_tab05_matches_paper(self):
+        result = tab05.run()
+        assert result["estimated"] == result["paper"]
+        assert result["fits_tofino"]
+        assert result["cowbird_only"]["sram_kb"] < result["estimated"]["sram_kb"]
+
+
+class TestCommunicationRatioMicro:
+    def test_sync_above_80_percent(self):
+        result = run_microbench("one-sided", 2, record_bytes=64,
+                                ops_per_thread=150)
+        assert result.communication_ratio > 0.8
+
+    def test_local_is_zero(self):
+        result = run_microbench("local", 2, record_bytes=64, ops_per_thread=150)
+        assert result.communication_ratio == 0.0

@@ -1,0 +1,195 @@
+"""Unit tests for the memory substrate (repro.memory)."""
+
+import pytest
+
+from repro.memory import (
+    AccessError,
+    BoundsError,
+    MemoryPool,
+    MemoryRegion,
+    Permission,
+    RegionRegistry,
+)
+
+
+class TestMemoryRegion:
+    def region(self, **kwargs):
+        defaults = dict(base_addr=0x1000, length=256, lkey=1, rkey=2)
+        defaults.update(kwargs)
+        return MemoryRegion(**defaults)
+
+    def test_read_back_what_was_written(self):
+        region = self.region()
+        region.write(0x1000, b"hello")
+        assert region.read(0x1000, 5) == b"hello"
+
+    def test_fresh_region_is_zeroed(self):
+        region = self.region()
+        assert region.read(0x1000, 16) == b"\x00" * 16
+
+    def test_write_at_offset(self):
+        region = self.region()
+        region.write(0x1080, b"xy")
+        assert region.read(0x107F, 4) == b"\x00xy\x00"
+
+    def test_end_addr(self):
+        region = self.region()
+        assert region.end_addr == 0x1100
+
+    def test_out_of_bounds_read_raises(self):
+        region = self.region()
+        with pytest.raises(BoundsError):
+            region.read(0x1100, 1)
+        with pytest.raises(BoundsError):
+            region.read(0x0FFF, 1)
+
+    def test_straddling_access_raises(self):
+        region = self.region()
+        with pytest.raises(BoundsError):
+            region.read(0x10FF, 2)
+
+    def test_negative_length_access_raises(self):
+        region = self.region()
+        with pytest.raises(BoundsError):
+            region.read(0x1000, -1)
+
+    def test_remote_read_requires_correct_rkey(self):
+        region = self.region()
+        region.write(0x1000, b"data")
+        assert region.remote_read(0x1000, 4, rkey=2) == b"data"
+        with pytest.raises(AccessError):
+            region.remote_read(0x1000, 4, rkey=99)
+
+    def test_remote_write_requires_correct_rkey(self):
+        region = self.region()
+        region.remote_write(0x1000, b"ok", rkey=2)
+        assert region.read(0x1000, 2) == b"ok"
+        with pytest.raises(AccessError):
+            region.remote_write(0x1000, b"no", rkey=3)
+
+    def test_permissions_enforced(self):
+        readonly = self.region(permissions=Permission.LOCAL_READ | Permission.REMOTE_READ)
+        with pytest.raises(AccessError):
+            readonly.write(0x1000, b"x")
+        with pytest.raises(AccessError):
+            readonly.remote_write(0x1000, b"x", rkey=2)
+        # Reads still work.
+        assert readonly.read(0x1000, 1) == b"\x00"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(base_addr=0, length=0, lkey=1, rkey=2)
+        with pytest.raises(ValueError):
+            MemoryRegion(base_addr=-1, length=10, lkey=1, rkey=2)
+
+
+class TestRegionRegistry:
+    def test_regions_do_not_overlap(self):
+        registry = RegionRegistry()
+        regions = [registry.register(1000) for _ in range(5)]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert a.end_addr <= b.base_addr or b.end_addr <= a.base_addr
+
+    def test_alignment_respected(self):
+        registry = RegionRegistry()
+        registry.register(100)  # misalign the bump pointer
+        region = registry.register(100, alignment=4096)
+        assert region.base_addr % 4096 == 0
+
+    def test_bad_alignment_rejected(self):
+        registry = RegionRegistry()
+        with pytest.raises(ValueError):
+            registry.register(100, alignment=3)
+
+    def test_lookup_by_rkey(self):
+        registry = RegionRegistry()
+        region = registry.register(64, name="target")
+        assert registry.by_rkey(region.rkey) is region
+
+    def test_unknown_rkey_raises(self):
+        registry = RegionRegistry()
+        with pytest.raises(AccessError):
+            registry.by_rkey(0xDEAD)
+
+    def test_lookup_by_addr(self):
+        registry = RegionRegistry()
+        first = registry.register(64)
+        second = registry.register(64)
+        assert registry.by_addr(second.base_addr + 10) is second
+        assert registry.by_addr(first.base_addr) is first
+
+    def test_addr_lookup_respects_length(self):
+        registry = RegionRegistry()
+        region = registry.register(64)
+        with pytest.raises(BoundsError):
+            registry.by_addr(region.base_addr + 60, length=10)
+
+    def test_deregister_removes_region(self):
+        registry = RegionRegistry()
+        region = registry.register(64)
+        registry.deregister(region)
+        assert len(registry) == 0
+        with pytest.raises(AccessError):
+            registry.by_rkey(region.rkey)
+
+    def test_keys_are_unique(self):
+        registry = RegionRegistry()
+        keys = {registry.register(16).rkey for _ in range(20)}
+        assert len(keys) == 20
+
+
+class TestMemoryPool:
+    def test_allocate_and_address_translation(self):
+        pool = MemoryPool("pool")
+        handle = pool.allocate_region(4096)
+        assert handle.node == "pool"
+        assert handle.length == 4096
+        assert handle.translate(0) == handle.base_addr
+        assert handle.translate(100) == handle.base_addr + 100
+
+    def test_translate_out_of_range_raises(self):
+        pool = MemoryPool("pool")
+        handle = pool.allocate_region(100)
+        with pytest.raises(ValueError):
+            handle.translate(100)
+        with pytest.raises(ValueError):
+            handle.translate(90, length=20)
+        with pytest.raises(ValueError):
+            handle.translate(-1)
+
+    def test_region_ids_increment(self):
+        pool = MemoryPool("pool")
+        ids = [pool.allocate_region(10).region_id for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_capacity_enforced(self):
+        pool = MemoryPool("pool", capacity_bytes=1000)
+        pool.allocate_region(800)
+        with pytest.raises(MemoryError):
+            pool.allocate_region(300)
+
+    def test_release_returns_capacity(self):
+        pool = MemoryPool("pool", capacity_bytes=1000)
+        handle = pool.allocate_region(800)
+        pool.release_region(handle)
+        assert pool.allocated_bytes == 0
+        pool.allocate_region(900)  # fits again
+
+    def test_release_unknown_region_raises(self):
+        pool_a, pool_b = MemoryPool("a"), MemoryPool("b")
+        handle = pool_a.allocate_region(10)
+        with pytest.raises(KeyError):
+            pool_b.release_region(handle)
+
+    def test_handle_resolves_to_backing_region(self):
+        pool = MemoryPool("pool")
+        handle = pool.allocate_region(64)
+        region = pool.region_for(handle)
+        region.write(handle.translate(0), b"abc")
+        assert region.remote_read(handle.base_addr, 3, handle.rkey) == b"abc"
+
+    def test_handle_lookup_by_region_id(self):
+        pool = MemoryPool("pool")
+        handle = pool.allocate_region(64)
+        assert pool.handle(handle.region_id) is handle

@@ -1,0 +1,155 @@
+"""Multiple compute nodes sharing one offload engine and memory pool.
+
+Section 5.4: one switch (or agent) multiplexes instances from different
+compute/memory node pairs.  These tests wire two compute nodes through a
+single engine and verify isolation and correct data movement.
+"""
+
+import pytest
+
+from repro.cowbird.api import CowbirdClient
+from repro.cowbird.p4_engine import CowbirdP4Engine
+from repro.cowbird.spot_engine import CowbirdSpotEngine
+from repro.memory.pool import MemoryPool
+from repro.testbed import Testbed
+
+
+def build_two_compute(engine_kind):
+    bed = Testbed()
+    computes = [bed.add_host(f"compute-{i}", cpu_cores=4) for i in range(2)]
+    pool_host = bed.add_host("pool")
+    pool = MemoryPool("pool")
+    pool_host.registry = pool.registry
+    pool_host.nic.registry = pool.registry
+    handles = [pool.allocate_region(1 << 16) for _ in range(2)]
+    instances = []
+    for compute, handle in zip(computes, handles):
+        client = CowbirdClient(compute)
+        # Each node addresses its own region as region_id 0.
+        object.__setattr__(handle, "region_id", 0)
+        client.register_remote_region(handle)
+        instances.append(client.create_instance())
+    if engine_kind == "p4":
+        engine = CowbirdP4Engine(bed.sim, bed.switch)
+    else:
+        agent = bed.add_host("agent", cpu_cores=1, smt=2)
+        engine = CowbirdSpotEngine(agent)
+    for instance in instances:
+        engine.register_instance(instance, {"pool": pool_host})
+    engine.start()
+    return bed, computes, pool, handles, instances, engine
+
+
+@pytest.mark.parametrize("engine_kind", ["spot", "p4"])
+class TestTwoComputeNodes:
+    def test_isolated_reads(self, engine_kind):
+        bed, computes, pool, handles, instances, _engine = build_two_compute(
+            engine_kind
+        )
+        for i, handle in enumerate(handles):
+            pool.region_for(handle).write(
+                handle.translate(0), bytes([0x10 + i]) * 32
+            )
+        results = {}
+
+        def app(index):
+            compute = computes[index]
+            instance = instances[index]
+            thread = compute.cpu.thread()
+            poll = instance.poll_create()
+            rid = yield from instance.async_read(thread, 0, 0, 32)
+            instance.poll_add(poll, rid)
+            events = yield from instance.poll_wait(thread, poll)
+            results[index] = instance.fetch_response(events[0].request_id)
+
+        p0 = bed.sim.spawn(app(0))
+        p1 = bed.sim.spawn(app(1))
+        bed.sim.run_until_complete(p0, deadline=100e9)
+        bed.sim.run_until_complete(p1, deadline=100e9)
+        assert results[0] == bytes([0x10]) * 32
+        assert results[1] == bytes([0x11]) * 32
+
+    def test_concurrent_writes_do_not_cross(self, engine_kind):
+        bed, computes, pool, handles, instances, _engine = build_two_compute(
+            engine_kind
+        )
+
+        def app(index):
+            compute = computes[index]
+            instance = instances[index]
+            thread = compute.cpu.thread()
+            poll = instance.poll_create()
+            ids = []
+            for j in range(6):
+                wid = yield from instance.async_write(
+                    thread, 0, j * 64, bytes([0x40 + index]) * 48
+                )
+                instance.poll_add(poll, wid)
+                ids.append(wid)
+            done = 0
+            while done < 6:
+                events = yield from instance.poll_wait(thread, poll, max_ret=8)
+                done += len(events)
+
+        p0 = bed.sim.spawn(app(0))
+        p1 = bed.sim.spawn(app(1))
+        bed.sim.run_until_complete(p0, deadline=100e9)
+        bed.sim.run_until_complete(p1, deadline=100e9)
+        for index, handle in enumerate(handles):
+            region = pool.region_for(handle)
+            for j in range(6):
+                assert region.read(handle.translate(j * 64), 48) == (
+                    bytes([0x40 + index]) * 48
+                )
+
+    def test_compute_nodes_pay_no_rdma(self, engine_kind):
+        bed, computes, pool, handles, instances, _engine = build_two_compute(
+            engine_kind
+        )
+
+        def app(index):
+            instance = instances[index]
+            thread = computes[index].cpu.thread()
+            poll = instance.poll_create()
+            rid = yield from instance.async_read(thread, 0, 0, 8)
+            instance.poll_add(poll, rid)
+            yield from instance.poll_wait(thread, poll)
+
+        p0 = bed.sim.spawn(app(0))
+        p1 = bed.sim.spawn(app(1))
+        bed.sim.run_until_complete(p0, deadline=100e9)
+        bed.sim.run_until_complete(p1, deadline=100e9)
+        for compute in computes:
+            assert compute.nic.stats.messages_initiated == 0
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "tab05" in out
+
+    def test_run_tab05(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "tab05"]) == 0
+        out = capsys.readouterr().out
+        assert "matches paper row: True" in out
+
+    def test_run_with_json_dump(self, tmp_path, capsys):
+        from repro.cli import main
+        import json
+
+        out_path = tmp_path / "tab01.json"
+        assert main(["run", "tab01", "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert "tab01" in data
+        assert len(data["tab01"]["rows"]) == 3
+
+    def test_unknown_experiment_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])

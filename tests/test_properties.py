@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cowbird.buffers import DataRing, RingFullError, skip_pad
+from repro.cowbird.wire import (
+    GreenBlock,
+    RedBlock,
+    RequestMetadata,
+    RwType,
+    decode_request_id,
+    encode_request_id,
+)
+from repro.faster.hybridlog import HybridLog, HybridLogConfig
+from repro.memory.region import MemoryRegion
+from repro.rdma.packets import (
+    AddressBook,
+    Aeth,
+    Bth,
+    Opcode,
+    PSN_MODULUS,
+    Reth,
+    RocePacket,
+    psn_add,
+    psn_distance,
+)
+from repro.sim.trace import percentile
+from repro.workloads.ycsb import ZipfianGenerator
+
+
+psn = st.integers(min_value=0, max_value=PSN_MODULUS - 1)
+
+
+class TestPsnProperties:
+    @given(psn, st.integers(min_value=0, max_value=1 << 30))
+    def test_add_stays_in_range(self, start, delta):
+        assert 0 <= psn_add(start, delta) < PSN_MODULUS
+
+    @given(psn, st.integers(min_value=0, max_value=PSN_MODULUS - 1))
+    def test_distance_inverts_add(self, start, delta):
+        assert psn_distance(start, psn_add(start, delta)) == delta
+
+    @given(psn, psn)
+    def test_distance_antisymmetry(self, a, b):
+        if a != b:
+            assert psn_distance(a, b) + psn_distance(b, a) == PSN_MODULUS
+        else:
+            assert psn_distance(a, b) == 0
+
+
+class TestWireFormatProperties:
+    @given(
+        opcode=st.sampled_from(list(Opcode)),
+        dest_qp=st.integers(min_value=0, max_value=(1 << 24) - 1),
+        seq=psn,
+        ack=st.booleans(),
+        solicited=st.booleans(),
+    )
+    def test_bth_round_trip(self, opcode, dest_qp, seq, ack, solicited):
+        bth = Bth(opcode=opcode, dest_qp=dest_qp, psn=seq, ack_request=ack,
+                  solicited=solicited)
+        assert Bth.unpack(bth.pack()) == bth
+
+    @given(
+        vaddr=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        rkey=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        length=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_reth_round_trip(self, vaddr, rkey, length):
+        reth = Reth(virtual_address=vaddr, remote_key=rkey, dma_length=length)
+        assert Reth.unpack(reth.pack()) == reth
+
+    @given(
+        syndrome=st.integers(min_value=0, max_value=255),
+        msn=st.integers(min_value=0, max_value=(1 << 24) - 1),
+    )
+    def test_aeth_round_trip(self, syndrome, msn):
+        aeth = Aeth(syndrome=syndrome, msn=msn)
+        assert Aeth.unpack(aeth.pack()) == aeth
+
+    @settings(max_examples=50)
+    @given(
+        payload=st.binary(min_size=0, max_size=1024),
+        seq=psn,
+        qp=st.integers(min_value=0, max_value=(1 << 24) - 1),
+    )
+    def test_full_packet_round_trip(self, payload, seq, qp):
+        book = AddressBook()
+        packet = RocePacket(
+            src="alpha", dst="beta",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_RESPONSE_ONLY, dest_qp=qp, psn=seq),
+            aeth=Aeth(syndrome=0x1F, msn=0),
+            payload=payload,
+        )
+        restored = RocePacket.unpack(packet.pack(book), book)
+        assert restored.payload == payload
+        assert restored.bth == packet.bth
+        assert restored.size_bytes == packet.size_bytes
+
+
+class TestCowbirdWireProperties:
+    @given(
+        rw=st.sampled_from([RwType.READ, RwType.WRITE]),
+        req=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        resp=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        length=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        region=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_metadata_round_trip(self, rw, req, resp, length, region):
+        entry = RequestMetadata(rw_type=rw, req_addr=req, resp_addr=resp,
+                                length=length, region_id=region)
+        assert RequestMetadata.unpack(entry.pack()) == entry
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_green_round_trip(self, a, b):
+        green = GreenBlock(request_meta_tail=a, request_data_tail=b)
+        assert GreenBlock.unpack(green.pack()) == green
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=5, max_size=5))
+    def test_red_round_trip(self, fields):
+        red = RedBlock(*fields)
+        assert RedBlock.unpack(red.pack()) == red
+
+    @given(
+        rw=st.sampled_from([RwType.READ, RwType.WRITE]),
+        region=st.integers(min_value=0, max_value=0xFFFF),
+        seq=st.integers(min_value=1, max_value=(1 << 32) - 1),
+    )
+    def test_request_id_round_trip(self, rw, region, seq):
+        assert decode_request_id(encode_request_id(rw, region, seq)) == (
+            rw, region, seq,
+        )
+
+
+class TestRingProperties:
+    @given(
+        tail=st.integers(min_value=0, max_value=1 << 20),
+        length=st.integers(min_value=1, max_value=512),
+        capacity=st.sampled_from([512, 1024, 4096]),
+    )
+    def test_skip_pad_prevents_wrap(self, tail, length, capacity):
+        if length > capacity:
+            return
+        pad = skip_pad(tail, length, capacity)
+        start = (tail + pad) % capacity
+        assert start + length <= capacity
+        assert 0 <= pad < capacity
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=1,
+                    max_size=60))
+    def test_reserve_mirror_agreement(self, lengths):
+        """The engine's cursor replay always matches the client layout."""
+        region = MemoryRegion(base_addr=0, length=1 << 16, lkey=1, rkey=2)
+        ring = DataRing(region, 0, 1024)
+        cursor = 0
+        for length in lengths:
+            ring.advance_head(ring.tail)  # consume everything
+            addr = ring.reserve(length)
+            mirror_addr, cursor = ring.mirror_reserve(cursor, length)
+            assert mirror_addr == addr
+            assert cursor == ring.tail
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=200), min_size=1,
+                    max_size=30))
+    def test_allocations_never_overlap_live_data(self, lengths):
+        """Until the consumer frees anything, every accepted allocation
+        must occupy distinct bytes."""
+        region = MemoryRegion(base_addr=0, length=1 << 16, lkey=1, rkey=2)
+        ring = DataRing(region, 0, 2048)
+        live: list[tuple[int, int]] = []
+        for length in lengths:
+            try:
+                addr = ring.reserve(length)
+            except RingFullError:
+                continue  # backpressure is allowed; overlap is not
+            for other_addr, other_len in live:
+                assert addr + length <= other_addr or other_addr + other_len <= addr
+            live.append((addr, length))
+
+
+class TestHybridLogProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=512), min_size=1,
+                    max_size=80))
+    def test_allocations_disjoint_and_within_pages(self, sizes):
+        log = HybridLog(HybridLogConfig(page_bits=10, memory_pages=1 << 20))
+        spans = []
+        for size in sizes:
+            addr = log.allocate(size)
+            # never spans a page
+            assert (addr & 1023) + size <= 1024
+            for other, other_size in spans:
+                assert addr + size <= other or other + other_size <= addr
+            spans.append((addr, size))
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=3, max_value=30))
+    def test_eviction_preserves_address_ordering(self, pages_to_fill):
+        log = HybridLog(HybridLogConfig(page_bits=10, memory_pages=2))
+        for _ in range(pages_to_fill * 2):
+            log.allocate(512)
+        while log.pages_over_budget() > 0:
+            eviction = log.begin_evict()
+            if eviction is None:
+                break
+            log.finish_evict(eviction[0])
+        assert log.head_addr <= log.tail_addr
+        # Everything below head is stable; above (resident) is readable.
+        assert log.region_of(log.head_addr) in ("read-only", "mutable")
+
+
+class TestStatisticsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_percentile_ordering(self, samples):
+        p50 = percentile(samples, 0.5)
+        p99 = percentile(samples, 0.99)
+        assert min(samples) <= p50 <= p99 <= max(samples)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                    min_size=1, max_size=100),
+           st.floats(min_value=0, max_value=1))
+    def test_percentile_membership(self, samples, fraction):
+        assert percentile(samples, fraction) in samples
+
+
+class TestZipfianProperties:
+    @settings(max_examples=25)
+    @given(
+        n=st.integers(min_value=2, max_value=5000),
+        theta=st.floats(min_value=0.1, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=1 << 30),
+    )
+    def test_outputs_in_range(self, n, theta, seed):
+        gen = ZipfianGenerator(n, theta=theta, seed=seed)
+        for _ in range(50):
+            assert 0 <= gen.next() < n
+
+
+class TestMemoryRegionProperties:
+    @settings(max_examples=40)
+    @given(
+        offset=st.integers(min_value=0, max_value=4000),
+        data=st.binary(min_size=1, max_size=96),
+    )
+    def test_write_read_round_trip(self, offset, data):
+        region = MemoryRegion(base_addr=0x1000, length=4096, lkey=1, rkey=2)
+        if offset + len(data) > 4096:
+            return
+        region.write(0x1000 + offset, data)
+        assert region.read(0x1000 + offset, len(data)) == data
+
+    @settings(max_examples=40)
+    @given(
+        first=st.binary(min_size=1, max_size=64),
+        second=st.binary(min_size=1, max_size=64),
+    )
+    def test_disjoint_writes_do_not_interfere(self, first, second):
+        region = MemoryRegion(base_addr=0, length=1024, lkey=1, rkey=2)
+        region.write(0, first)
+        region.write(512, second)
+        assert region.read(0, len(first)) == first
+        assert region.read(512, len(second)) == second

@@ -1,0 +1,254 @@
+"""Unit tests for the RoCEv2 wire format (repro.rdma.packets)."""
+
+import pytest
+
+from repro.rdma.packets import (
+    AddressBook,
+    Aeth,
+    Bth,
+    HEADER_OVERHEAD_BYTES,
+    Opcode,
+    PSN_MODULUS,
+    READ_RESPONSE_TO_WRITE,
+    Reth,
+    RocePacket,
+    SYNDROME_ACK,
+    SYNDROME_NAK_PSN_ERROR,
+    psn_add,
+    psn_distance,
+)
+
+
+class TestPsnArithmetic:
+    def test_add_wraps_at_24_bits(self):
+        assert psn_add(PSN_MODULUS - 1, 1) == 0
+        assert psn_add(PSN_MODULUS - 1, 2) == 1
+
+    def test_add_negative_delta(self):
+        assert psn_add(0, -1) == PSN_MODULUS - 1
+
+    def test_distance_forward(self):
+        assert psn_distance(10, 15) == 5
+
+    def test_distance_across_wrap(self):
+        assert psn_distance(PSN_MODULUS - 2, 3) == 5
+
+
+class TestBth:
+    def test_round_trip(self):
+        bth = Bth(
+            opcode=Opcode.RC_RDMA_READ_REQUEST,
+            dest_qp=0x1234,
+            psn=0xABCDE,
+            ack_request=True,
+            solicited=True,
+        )
+        assert Bth.unpack(bth.pack()) == bth
+
+    def test_packed_size_is_12_bytes(self):
+        bth = Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1, psn=0)
+        assert len(bth.pack()) == 12
+
+    def test_opcode_is_first_byte(self):
+        bth = Bth(opcode=Opcode.RC_RDMA_WRITE_ONLY, dest_qp=1, psn=0)
+        assert bth.pack()[0] == int(Opcode.RC_RDMA_WRITE_ONLY)
+
+    def test_out_of_range_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1 << 24, psn=0).pack()
+        with pytest.raises(ValueError):
+            Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1, psn=PSN_MODULUS).pack()
+
+
+class TestReth:
+    def test_round_trip(self):
+        reth = Reth(virtual_address=0xDEADBEEF_CAFE, remote_key=0x8000_0001, dma_length=4096)
+        assert Reth.unpack(reth.pack()) == reth
+
+    def test_packed_size_is_16_bytes(self):
+        assert len(Reth(virtual_address=0, remote_key=0, dma_length=0).pack()) == 16
+
+    def test_rejects_oversized_length(self):
+        with pytest.raises(ValueError):
+            Reth(virtual_address=0, remote_key=0, dma_length=1 << 32).pack()
+
+
+class TestAeth:
+    def test_round_trip(self):
+        aeth = Aeth(syndrome=SYNDROME_NAK_PSN_ERROR, msn=0x123)
+        assert Aeth.unpack(aeth.pack()) == aeth
+
+    def test_packed_size_is_4_bytes(self):
+        assert len(Aeth(syndrome=0, msn=0).pack()) == 4
+
+    def test_ack_and_nak_classification(self):
+        assert Aeth(syndrome=SYNDROME_ACK, msn=0).is_ack
+        assert not Aeth(syndrome=SYNDROME_ACK, msn=0).is_nak
+        assert Aeth(syndrome=SYNDROME_NAK_PSN_ERROR, msn=0).is_nak
+        assert not Aeth(syndrome=SYNDROME_NAK_PSN_ERROR, msn=0).is_ack
+
+
+class TestOpcodeProperties:
+    def test_reth_on_read_request_and_write_head(self):
+        assert Opcode.RC_RDMA_READ_REQUEST.carries_reth
+        assert Opcode.RC_RDMA_WRITE_FIRST.carries_reth
+        assert Opcode.RC_RDMA_WRITE_ONLY.carries_reth
+        assert not Opcode.RC_RDMA_WRITE_MIDDLE.carries_reth
+        assert not Opcode.RC_RDMA_WRITE_LAST.carries_reth
+
+    def test_aeth_on_responses_and_acks(self):
+        assert Opcode.RC_ACKNOWLEDGE.carries_aeth
+        assert Opcode.RC_RDMA_READ_RESPONSE_FIRST.carries_aeth
+        assert Opcode.RC_RDMA_READ_RESPONSE_ONLY.carries_aeth
+        assert not Opcode.RC_RDMA_READ_RESPONSE_MIDDLE.carries_aeth
+
+    def test_read_response_to_write_conversion_map(self):
+        """Section 5.2: Response First/Middle/Last map to Write
+        First/Middle/Last when Cowbird-P4 recycles them."""
+        assert (
+            READ_RESPONSE_TO_WRITE[Opcode.RC_RDMA_READ_RESPONSE_FIRST]
+            is Opcode.RC_RDMA_WRITE_FIRST
+        )
+        assert (
+            READ_RESPONSE_TO_WRITE[Opcode.RC_RDMA_READ_RESPONSE_MIDDLE]
+            is Opcode.RC_RDMA_WRITE_MIDDLE
+        )
+        assert (
+            READ_RESPONSE_TO_WRITE[Opcode.RC_RDMA_READ_RESPONSE_LAST]
+            is Opcode.RC_RDMA_WRITE_LAST
+        )
+        assert (
+            READ_RESPONSE_TO_WRITE[Opcode.RC_RDMA_READ_RESPONSE_ONLY]
+            is Opcode.RC_RDMA_WRITE_ONLY
+        )
+
+
+class TestRocePacket:
+    def make_read_request(self):
+        return RocePacket(
+            src="compute",
+            dst="pool",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_REQUEST, dest_qp=7, psn=42),
+            reth=Reth(virtual_address=0x4000_0000, remote_key=0x8000_0001, dma_length=256),
+        )
+
+    def test_header_validation_missing_reth(self):
+        with pytest.raises(ValueError, match="requires a RETH"):
+            RocePacket(
+                src="a", dst="b",
+                bth=Bth(opcode=Opcode.RC_RDMA_READ_REQUEST, dest_qp=1, psn=0),
+            )
+
+    def test_header_validation_unexpected_reth(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            RocePacket(
+                src="a", dst="b",
+                bth=Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1, psn=0),
+                reth=Reth(virtual_address=0, remote_key=0, dma_length=0),
+                aeth=Aeth(syndrome=SYNDROME_ACK, msn=0),
+            )
+
+    def test_header_validation_missing_aeth(self):
+        with pytest.raises(ValueError, match="requires an AETH"):
+            RocePacket(
+                src="a", dst="b",
+                bth=Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1, psn=0),
+            )
+
+    def test_ack_with_payload_rejected(self):
+        with pytest.raises(ValueError, match="no payload"):
+            RocePacket(
+                src="a", dst="b",
+                bth=Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1, psn=0),
+                aeth=Aeth(syndrome=SYNDROME_ACK, msn=0),
+                payload=b"x",
+            )
+
+    def test_size_accounting_read_request(self):
+        packet = self.make_read_request()
+        # Eth(14) + IP(20) + UDP(8) + BTH(12) + RETH(16) + ICRC(4) = 74
+        assert packet.size_bytes == HEADER_OVERHEAD_BYTES + 16
+        assert packet.size_bytes == 74
+
+    def test_size_accounting_with_payload(self):
+        packet = RocePacket(
+            src="a", dst="b",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_RESPONSE_ONLY, dest_qp=1, psn=0),
+            aeth=Aeth(syndrome=SYNDROME_ACK, msn=0),
+            payload=b"z" * 256,
+        )
+        assert packet.size_bytes == HEADER_OVERHEAD_BYTES + 4 + 256
+
+    def test_pack_produces_exactly_size_bytes(self):
+        book = AddressBook()
+        packet = self.make_read_request()
+        assert len(packet.pack(book)) == packet.size_bytes
+
+    def test_pack_unpack_round_trip(self):
+        book = AddressBook()
+        packet = self.make_read_request()
+        restored = RocePacket.unpack(packet.pack(book), book)
+        assert restored.src == "compute"
+        assert restored.dst == "pool"
+        assert restored.bth == packet.bth
+        assert restored.reth == packet.reth
+        assert restored.payload == b""
+
+    def test_pack_unpack_round_trip_with_payload(self):
+        book = AddressBook()
+        packet = RocePacket(
+            src="pool", dst="compute",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_RESPONSE_ONLY, dest_qp=5, psn=9),
+            aeth=Aeth(syndrome=SYNDROME_ACK, msn=1),
+            payload=bytes(range(200)),
+        )
+        restored = RocePacket.unpack(packet.pack(book), book)
+        assert restored.payload == bytes(range(200))
+        assert restored.aeth == packet.aeth
+
+    def test_udp_port_is_4791(self):
+        book = AddressBook()
+        wire = self.make_read_request().pack(book)
+        # UDP header starts after Eth(14) + IP(20); dst port is bytes 2-4.
+        udp_start = 34
+        dst_port = int.from_bytes(wire[udp_start + 2 : udp_start + 4], "big")
+        assert dst_port == 4791
+
+    def test_unpack_rejects_non_roce(self):
+        book = AddressBook()
+        wire = bytearray(self.make_read_request().pack(book))
+        wire[36] = 0  # clobber UDP destination port
+        wire[37] = 80
+        with pytest.raises(ValueError, match="not a RoCEv2"):
+            RocePacket.unpack(bytes(wire), book)
+
+    def test_unpack_rejects_truncated(self):
+        with pytest.raises(ValueError, match="too short"):
+            RocePacket.unpack(b"\x00" * 10)
+
+
+class TestAddressBook:
+    def test_assignments_are_stable(self):
+        book = AddressBook()
+        ip1 = book.ip_of("alpha")
+        assert book.ip_of("alpha") == ip1
+
+    def test_distinct_names_distinct_ips(self):
+        book = AddressBook()
+        assert book.ip_of("a") != book.ip_of("b")
+
+    def test_reverse_lookup(self):
+        book = AddressBook()
+        ip = book.ip_of("host-1")
+        assert book.name_of(ip) == "host-1"
+
+    def test_unknown_ip_raises(self):
+        book = AddressBook()
+        with pytest.raises(KeyError):
+            book.name_of(0x7F000001)
+
+    def test_mac_derivation(self):
+        book = AddressBook()
+        mac = book.mac_of("x")
+        assert len(mac) == 6
+        assert mac[:2] == b"\x02\x00"  # locally administered
