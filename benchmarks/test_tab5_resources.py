@@ -1,6 +1,5 @@
 """Benchmark: regenerate Table 5 (Tofino data-plane resource usage)."""
 
-import pytest
 
 from repro.experiments import tab05
 

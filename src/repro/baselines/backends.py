@@ -19,7 +19,7 @@ import itertools
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.cowbird.api import BufferFullError, CowbirdInstance
 from repro.rdma.qp import WorkRequest, WorkType

@@ -5,11 +5,16 @@ Usage::
     python -m repro list
     python -m repro run fig01
     python -m repro run fig08 --ops 300 --json out.json
-    python -m repro run tab05
+    python -m repro run fig01 --trace trace.json --metrics
+    python -m repro metrics fig01 --prefix nic.
     python -m repro run all
 
 Each experiment prints the same rows/series the paper reports; ``--json``
-additionally dumps the raw records for plotting.
+additionally dumps the raw records (plus a ``meta`` block with seeds,
+version, sim duration, and wall-clock) for plotting.  ``--trace`` writes
+a Chrome ``trace_event`` JSON of the run, loadable in Perfetto;
+``--metrics`` (or the ``metrics`` subcommand) prints the flat telemetry
+counter/gauge/histogram snapshot.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import sys
 import time
 from typing import Any, Callable
 
+from repro import __version__, telemetry
 from repro.experiments import (
     fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
     tab01, tab05,
@@ -28,9 +34,22 @@ from repro.experiments import (
 
 __all__ = ["main"]
 
+#: Default seed baked into each experiment's ``run()`` signature
+#: (``None`` = the experiment is deterministic and takes no seed).
+DEFAULT_SEEDS: dict[str, int | None] = {
+    "fig01": 1, "fig02": None, "fig08": 8, "fig09": 9, "fig10": 10,
+    "fig11": 11, "fig12": 12, "fig13": 13, "fig14": 14,
+    "tab01": None, "tab05": None,
+}
+
+
+def _seed_kw(args) -> dict[str, int]:
+    seed = getattr(args, "seed", None)
+    return {} if seed is None else {"seed": seed}
+
 
 def _run_fig01(args) -> tuple[Any, str]:
-    rows = fig01.run(ops_per_thread=args.ops or 300)
+    rows = fig01.run(ops_per_thread=args.ops or 300, **_seed_kw(args))
     return rows, fig01.format_rows(rows)
 
 
@@ -41,40 +60,40 @@ def _run_fig02(args) -> tuple[Any, str]:
 
 def _run_fig08(args) -> tuple[Any, str]:
     cells = fig08.run(ops_per_thread=args.ops or 300,
-                      thread_counts=(1, 2, 4, 8, 16))
+                      thread_counts=(1, 2, 4, 8, 16), **_seed_kw(args))
     return cells, fig08.format_cells(cells)
 
 
 def _run_fig09(args) -> tuple[Any, str]:
     results = fig09.run(ops_per_thread=args.ops or 250,
-                        record_count=12_000)
+                        record_count=12_000, **_seed_kw(args))
     return results, fig09.format_results(results)
 
 
 def _run_fig10(args) -> tuple[Any, str]:
     results = fig10.run(ops_per_thread=args.ops or 250,
-                        record_count=12_000)
+                        record_count=12_000, **_seed_kw(args))
     return results, fig10.format_results(results)
 
 
 def _run_fig11(args) -> tuple[Any, str]:
     results = fig11.run(ops_per_thread=args.ops or 250,
-                        record_count=12_000)
+                        record_count=12_000, **_seed_kw(args))
     return results, fig11.format_results(results)
 
 
 def _run_fig12(args) -> tuple[Any, str]:
-    results = fig12.run(ops_per_thread=args.ops or 300)
+    results = fig12.run(ops_per_thread=args.ops or 300, **_seed_kw(args))
     return results, fig12.format_results(results)
 
 
 def _run_fig13(args) -> tuple[Any, str]:
-    rows = fig13.run(ops=args.ops or 200)
+    rows = fig13.run(ops=args.ops or 200, **_seed_kw(args))
     return rows, fig13.format_rows(rows)
 
 
 def _run_fig14(args) -> tuple[Any, str]:
-    rows = fig14.run(ops_per_thread=args.ops or 200)
+    rows = fig14.run(ops_per_thread=args.ops or 200, **_seed_kw(args))
     return rows, fig14.format_rows(rows)
 
 
@@ -122,6 +141,19 @@ def _to_jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def _format_snapshot(snapshot: dict, prefix: str = "") -> str:
+    """Render a flat metrics snapshot, one ``name value`` line per metric."""
+    lines = []
+    for name in sorted(snapshot):
+        if prefix and not name.startswith(prefix):
+            continue
+        value = snapshot[name]
+        if isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
+        lines.append(f"  {name} = {value}")
+    return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,8 +165,24 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run_parser.add_argument("--ops", type=int, default=None,
                             help="operations per thread (scale knob)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the experiment's default seed")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also dump raw records as JSON")
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="write a Chrome trace_event JSON (Perfetto)")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="print the telemetry metrics snapshot")
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="run one experiment and print its telemetry metrics"
+    )
+    metrics_parser.add_argument("experiment", choices=list(EXPERIMENTS))
+    metrics_parser.add_argument("--ops", type=int, default=None,
+                                help="operations per thread (scale knob)")
+    metrics_parser.add_argument("--seed", type=int, default=None,
+                                help="override the experiment's default seed")
+    metrics_parser.add_argument("--prefix", default="",
+                                help="only show metrics under this dotted prefix")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -142,20 +190,68 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:<7s} {description}")
         return 0
 
+    if args.command == "metrics":
+        description, fn = EXPERIMENTS[args.experiment]
+        tel = telemetry.Telemetry()
+        with telemetry.activate(tel):
+            fn(args)
+        print(f"== {args.experiment}: telemetry metrics")
+        print(_format_snapshot(tel.snapshot(), args.prefix))
+        return 0
+
+    # Telemetry observes only sim-time, so enabling it never changes the
+    # numbers (pinned by tests/test_telemetry.py); collect it whenever any
+    # output consumer (--trace, --metrics, --json metadata) wants it.
+    collect = bool(args.trace or args.metrics or args.json)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     dump: dict[str, Any] = {}
+    meta: dict[str, Any] = {
+        "repro_version": __version__,
+        "experiments": {},
+    }
+    trace_events: list = []
+    trace_metrics: dict[str, Any] = {}
     for name in names:
         description, fn = EXPERIMENTS[name]
         print(f"== {name}: {description}")
         started = time.time()
-        raw, rendered = fn(args)
+        tel = telemetry.Telemetry() if collect else telemetry.NULL_TELEMETRY
+        with telemetry.activate(tel):
+            raw, rendered = fn(args)
+        elapsed = time.time() - started
         print(rendered)
-        print(f"   ({time.time() - started:.1f}s wall)\n")
+        print(f"   ({elapsed:.1f}s wall)\n")
         dump[name] = _to_jsonable(raw)
+        if collect:
+            snapshot = tel.snapshot()
+            total_ops = sum(
+                v for k, v in snapshot.items()
+                if k.startswith("bench.") and k.endswith(".ops")
+            )
+            meta["experiments"][name] = {
+                "seed": args.seed if args.seed is not None
+                else DEFAULT_SEEDS.get(name),
+                "ops": args.ops,
+                "total_ops": total_ops,
+                "sim_duration_ns": tel.tracer.last_timestamp_ns(),
+                "events_dispatched": snapshot.get("sim.events_dispatched", 0),
+                "wall_clock_s": round(elapsed, 3),
+            }
+            if args.metrics:
+                print(f"-- {name}: telemetry metrics")
+                print(_format_snapshot(snapshot))
+                print()
+            if args.trace:
+                trace_events.extend(tel.tracer.events)
+                trace_metrics[name] = snapshot
     if args.json:
+        dump["meta"] = meta
         with open(args.json, "w") as handle:
             json.dump(dump, handle, indent=2)
         print(f"raw records written to {args.json}")
+    if args.trace:
+        telemetry.write_chrome_trace(args.trace, trace_events, trace_metrics)
+        print(f"chrome trace written to {args.trace}")
     return 0
 
 

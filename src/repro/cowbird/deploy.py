@@ -8,7 +8,7 @@ engine, and starts it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cowbird.api import CowbirdClient, CowbirdConfig, CowbirdInstance

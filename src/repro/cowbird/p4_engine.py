@@ -39,10 +39,8 @@ from repro.cowbird.wire import (
 )
 from repro.cowbird.buffers import MetadataRing, skip_pad
 from repro.rdma.packets import (
-    Aeth,
     Bth,
     Opcode,
-    READ_RESPONSE_TO_WRITE,
     Reth,
     RocePacket,
     psn_add,
@@ -135,6 +133,8 @@ class _AppOp:
     completed: bool = False
     fetch_op: Optional[_EngineOp] = None
     write_train: Optional[_EngineOp] = None
+    #: Sim time the switch parsed this request (span begin for telemetry).
+    parsed_at: float = 0.0
 
 
 class _Channel:
@@ -345,6 +345,20 @@ class CowbirdP4Engine:
         self.config = config or P4EngineConfig()
         self.node = node
         self.stats = P4EngineStats()
+        tel = sim.telemetry
+        self._tel = tel
+        self._tel_probes = tel.counter("p4.probes_sent")
+        self._tel_probe_rounds = tel.counter("p4.probe_rounds")
+        self._tel_probe_responses = tel.counter("p4.probe_responses")
+        self._tel_meta_fetches = tel.counter("p4.metadata_fetches")
+        self._tel_parsed = tel.counter("p4.requests_parsed")
+        self._tel_reads = tel.counter("p4.reads_executed")
+        self._tel_writes = tel.counter("p4.writes_executed")
+        self._tel_recycled = tel.counter("p4.recycled_packets")
+        self._tel_red_updates = tel.counter("p4.red_updates")
+        self._tel_gbn = tel.counter("p4.go_back_n_events")
+        self._tel_reads_paused = tel.counter("p4.reads_paused")
+        self._tel_request_ns = tel.histogram("p4.request_latency_ns")
         self._instances: list[_Instance] = []
         #: QPN-to-instance/channel map (Section 5.4: packets after Phase II
         #: carry no instance id, so the switch keys on the QPN).
@@ -420,9 +434,11 @@ class CowbirdP4Engine:
                 interval * state.probe_interval_scale,
                 self.config.adaptive_max_interval_ns,
             )
+        self._tel_probe_rounds.inc()
         if state is not None and not state.probe_inflight:
             state.probe_inflight = True
             self.stats.probes_sent += 1
+            self._tel_probes.inc()
             state.probe_channel.emit_read(
                 state.descriptor.bookkeeping_addr,
                 GreenBlock.SIZE,
@@ -493,10 +509,21 @@ class CowbirdP4Engine:
         if op.kind == "probe":
             if complete:
                 channel.retire(op)
+                if self._tel.enabled:
+                    self._tel.complete(
+                        "p4.probe", op.issued_at, self.sim.now,
+                        process=self.node, track=f"qp{channel.virtual_qpn}",
+                    )
                 self._on_probe_response(state, bytes(op.buffer))
         elif op.kind == "meta":
             if complete:
                 channel.retire(op)
+                if self._tel.enabled:
+                    self._tel.complete(
+                        "p4.meta_fetch", op.issued_at, self.sim.now,
+                        process=self.node, track=f"qp{channel.virtual_qpn}",
+                        bytes=op.expect_bytes,
+                    )
                 self._on_metadata(state, bytes(op.buffer))
         elif op.kind == "read_fetch":
             self._convert_read_data(state, op, packet, offset, complete)
@@ -508,6 +535,7 @@ class CowbirdP4Engine:
     # -- Phase II continued: probe response -> metadata fetch ------------
     def _on_probe_response(self, state: _Instance, payload: bytes) -> None:
         self.stats.probe_responses += 1
+        self._tel_probe_responses.inc()
         state.probe_inflight = False
         green = GreenBlock.unpack(payload)
         state.seen_meta_tail = max(state.seen_meta_tail, green.request_meta_tail)
@@ -539,7 +567,9 @@ class CowbirdP4Engine:
         addr = descriptor.metadata_base + start_slot * MetadataRing.ENTRY_BYTES
         state.meta_fetch_inflight = True
         self.stats.metadata_fetches += 1
+        self._tel_meta_fetches.inc()
         self.stats.recycled_packets += 1  # probe response recycled into this read
+        self._tel_recycled.inc()
         op = state.data_channel.emit_read(addr, length, kind="meta", instance=state)
         op.buffer = bytearray()
         op.parent = None
@@ -560,6 +590,7 @@ class CowbirdP4Engine:
                 end = index
                 break
             self.stats.requests_parsed += 1
+            self._tel_parsed.inc()
             if metadata.rw_type is RwType.READ:
                 state.read_count += 1
                 sequence = state.read_count
@@ -568,7 +599,7 @@ class CowbirdP4Engine:
                 sequence = state.write_count
             app_op = _AppOp(
                 instance=state, sequence=sequence, metadata=metadata,
-                ring_index=index,
+                ring_index=index, parsed_at=self.sim.now,
             )
             state.pending.append(app_op)
             state.in_order.append(app_op)
@@ -583,6 +614,7 @@ class CowbirdP4Engine:
             if app_op.metadata.rw_type is RwType.READ:
                 if state.fetching_writes > 0:
                     self.stats.reads_paused += 1
+                    self._tel_reads_paused.inc()
                     return  # paused until no write is in Phase III step 1b
                 state.pending.popleft()
                 self._execute_read(state, app_op)
@@ -598,6 +630,7 @@ class CowbirdP4Engine:
         """Phase III step 1a: fetch the requested data from the pool."""
         channel, rkey = self._pool_channel_for(state, app_op.metadata.region_id)
         self.stats.recycled_packets += 1  # recycled from the Phase II response
+        self._tel_recycled.inc()
         app_op.fetch_op = channel.emit_read(
             app_op.metadata.req_addr,
             app_op.metadata.length,
@@ -611,6 +644,7 @@ class CowbirdP4Engine:
         """Phase III step 1b: fetch the to-be-written data from compute."""
         state.fetching_writes += 1
         self.stats.recycled_packets += 1
+        self._tel_recycled.inc()
         app_op.fetch_op = state.data_channel.emit_read(
             app_op.metadata.req_addr,
             app_op.metadata.length,
@@ -629,6 +663,7 @@ class CowbirdP4Engine:
                 op.expect_bytes, kind="resp_write", parent=app_op, instance=state
             )
         self.stats.recycled_packets += 1
+        self._tel_recycled.inc()
         segment = psn_distance(op.first_psn, packet.bth.psn)
         state.data_channel.emit_write_segment(
             app_op.write_train,
@@ -651,6 +686,7 @@ class CowbirdP4Engine:
                 op.expect_bytes, kind="pool_write", parent=app_op, instance=state
             )
         self.stats.recycled_packets += 1
+        self._tel_recycled.inc()
         segment = psn_distance(op.first_psn, packet.bth.psn)
         channel.emit_write_segment(
             app_op.write_train,
@@ -684,8 +720,17 @@ class CowbirdP4Engine:
     def _complete_app_op(self, state: _Instance, app_op: _AppOp) -> None:
         app_op.completed = True
         metadata = app_op.metadata
+        self._tel_request_ns.observe(self.sim.now - app_op.parsed_at)
+        if self._tel.enabled:
+            self._tel.complete(
+                "p4.request", app_op.parsed_at, self.sim.now,
+                process=self.node, track=f"inst{self._instances.index(state)}",
+                rw=metadata.rw_type.name.lower(), bytes=metadata.length,
+                sequence=app_op.sequence,
+            )
         if metadata.rw_type is RwType.READ:
             self.stats.reads_executed += 1
+            self._tel_reads.inc()
             state.red.read_progress = max(state.red.read_progress, app_op.sequence)
             # Mirror the client's response-ring reservation cursor.
             pad = skip_pad(
@@ -696,6 +741,7 @@ class CowbirdP4Engine:
             state.red.response_data_tail = state.resp_data_cursor
         else:
             self.stats.writes_executed += 1
+            self._tel_writes.inc()
             state.red.write_progress = max(state.red.write_progress, app_op.sequence)
             pad = skip_pad(
                 state.req_data_cursor, metadata.length,
@@ -712,7 +758,9 @@ class CowbirdP4Engine:
     def _emit_red_update(self, state: _Instance) -> None:
         """Phase IV: one RDMA write refreshes all bookkeeping (R3)."""
         self.stats.red_updates += 1
+        self._tel_red_updates.inc()
         self.stats.recycled_packets += 1  # recycled from the ACK
+        self._tel_recycled.inc()
         payload = state.red.pack()
         train = state.data_channel.begin_write(
             len(payload), kind="red_update", parent=None, instance=state
@@ -743,6 +791,12 @@ class CowbirdP4Engine:
         if not pending:
             return
         self.stats.go_back_n_events += 1
+        self._tel_gbn.inc()
+        if self._tel.enabled:
+            self._tel.instant(
+                "p4.go_back_n", process=self.node,
+                track=f"qp{channel.virtual_qpn}", pending=len(pending),
+            )
         channel.inflight = deque(op for op in channel.inflight if op.done)
         channel.send_psn = pending[0].first_psn
         for op in pending:

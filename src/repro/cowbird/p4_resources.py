@@ -20,7 +20,7 @@ Section 8.4 addresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 __all__ = [

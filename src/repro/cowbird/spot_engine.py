@@ -25,7 +25,6 @@ CQE reaping, so per-request CPU cost is a few nanoseconds while the
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -88,6 +87,8 @@ class _SpotOp:
     ring_index: int
     staging_addr: int = 0
     completed: bool = False
+    #: Sim time the agent parsed this request (span begin for telemetry).
+    parsed_at: float = 0.0
 
 
 @dataclass
@@ -126,6 +127,8 @@ class _SpotInstance:
     outstanding_read_fetches: int = 0
     probe_inflight: bool = False
     meta_fetch_inflight: bool = False
+    #: Sim time the current batch opened (span begin for telemetry).
+    batch_opened_at: float = 0.0
 
 
 class CowbirdSpotEngine:
@@ -137,6 +140,19 @@ class CowbirdSpotEngine:
         self.cost = agent_host.verbs.cost
         self.config = config or SpotEngineConfig()
         self.stats = SpotEngineStats()
+        tel = self.sim.telemetry
+        self._tel = tel
+        self._tel_probe_rounds = tel.counter("spot.probe_rounds")
+        self._tel_meta_fetches = tel.counter("spot.metadata_fetches")
+        self._tel_parsed = tel.counter("spot.requests_parsed")
+        self._tel_reads = tel.counter("spot.reads_executed")
+        self._tel_writes = tel.counter("spot.writes_executed")
+        self._tel_batch_flushes = tel.counter("spot.batch_flushes")
+        self._tel_batch_entries = tel.counter("spot.batch_entries")
+        self._tel_rdma_calls = tel.counter("spot.rdma_calls")
+        self._tel_overlap_stalls = tel.counter("spot.overlap_stalls")
+        self._tel_request_ns = tel.histogram("spot.request_latency_ns")
+        self._tel_batch_bytes = tel.histogram("spot.batch_bytes")
         self.cq = CompletionQueue(capacity=1 << 16)
         self.staging = agent_host.registry.register(
             self.config.staging_bytes, name="spot-staging"
@@ -301,6 +317,7 @@ class CowbirdSpotEngine:
         """
         while self._running:
             self.stats.probe_rounds += 1
+            self._tel_probe_rounds.inc()
             posts = []
             for state in self._instances:
                 if state.probe_inflight:
@@ -334,6 +351,7 @@ class CowbirdSpotEngine:
         end = start + contiguous
         length = contiguous * MetadataRing.ENTRY_BYTES
         self.stats.metadata_fetches += 1
+        self._tel_meta_fetches.inc()
         wr = WorkRequest(
             work_type=WorkType.READ,
             local_addr=state.meta_staging,
@@ -362,6 +380,7 @@ class CowbirdSpotEngine:
                 end = index
                 break
             self.stats.requests_parsed += 1
+            self._tel_parsed.inc()
             if metadata.rw_type is RwType.READ:
                 state.read_count += 1
                 sequence = state.read_count
@@ -370,7 +389,7 @@ class CowbirdSpotEngine:
                 sequence = state.write_count
             op = _SpotOp(
                 instance=state, sequence=sequence, metadata=metadata,
-                ring_index=index,
+                ring_index=index, parsed_at=self.sim.now,
             )
             ops.append(op)
             state.in_order.append(op)
@@ -399,6 +418,7 @@ class CowbirdSpotEngine:
                     # Reads execute in order: once one stalls, later
                     # reads queue behind it (Section 6).
                     self.stats.overlap_stalls += 1
+                    self._tel_overlap_stalls.inc()
                     state.stalled_reads.append(op)
                     continue
                 to_post.append(self._build_read_fetch(state, op))
@@ -445,6 +465,7 @@ class CowbirdSpotEngine:
                 tag=TAG_ENGINE,
             )
             self.stats.rdma_calls += 1
+            self._tel_rdma_calls.inc()
             for qp, wr in chunk:
                 self.host.nic.post(qp, wr)
 
@@ -546,6 +567,14 @@ class CowbirdSpotEngine:
         op.completed = True
         state.outstanding_read_fetches -= 1
         self.stats.reads_executed += 1
+        self._tel_reads.inc()
+        self._tel_request_ns.observe(self.sim.now - op.parsed_at)
+        if self._tel.enabled:
+            self._tel.complete(
+                "spot.read", op.parsed_at, self.sim.now,
+                process=self.host.name, track="agent",
+                bytes=op.metadata.length, sequence=op.sequence,
+            )
         # Mirror the client's response-ring reservation arithmetic.
         pad = skip_pad(
             state.resp_data_cursor, op.metadata.length,
@@ -559,6 +588,7 @@ class CowbirdSpotEngine:
         state.resp_data_cursor += pad
         if not state.batch:
             state.batch_start_cursor = state.resp_data_cursor
+            state.batch_opened_at = self.sim.now
         state.batch.append(op)
         state.resp_data_cursor += op.metadata.length
         batch_bytes = state.resp_data_cursor - state.batch_start_cursor
@@ -608,6 +638,15 @@ class CowbirdSpotEngine:
         )
         self.stats.batches_flushed += 1
         self.stats.batch_entries_total += len(batch)
+        self._tel_batch_flushes.inc()
+        self._tel_batch_entries.inc(len(batch))
+        self._tel_batch_bytes.observe(total)
+        if self._tel.enabled:
+            self._tel.complete(
+                "spot.batch", state.batch_opened_at, self.sim.now,
+                process=self.host.name, track="agent",
+                entries=len(batch), bytes=total,
+            )
         # Publication happens prefix-wise: progress counters and the
         # response tail only cover the completed FIFO prefix, keeping
         # the red block a consistent recovery point.
@@ -619,6 +658,14 @@ class CowbirdSpotEngine:
         state = op.instance
         op.completed = True
         self.stats.writes_executed += 1
+        self._tel_writes.inc()
+        self._tel_request_ns.observe(self.sim.now - op.parsed_at)
+        if self._tel.enabled:
+            self._tel.complete(
+                "spot.write", op.parsed_at, self.sim.now,
+                process=self.host.name, track="agent",
+                bytes=op.metadata.length, sequence=op.sequence,
+            )
         state.active_writes.remove(op)
         self._advance_meta_head(state)
         posts = [self._build_red_update(state)]

@@ -35,7 +35,6 @@ from repro.baselines import (
     RedyBackend,
     RedyConfig,
     SsdBackend,
-    SsdConfig,
     TwoSidedSyncBackend,
 )
 from repro.baselines.backends import Backend, CowbirdBackend
@@ -273,4 +272,16 @@ def run_microbench(
         per_thread_mops=[r.mops() for r in results],
     )
     aggregate.throughput_mops = mops(aggregate.total_ops, aggregate.elapsed_ns)
+    tel = sim.telemetry
+    if tel.enabled:
+        tel.complete(
+            "bench.microbench", started, finished,
+            process="bench", track=system,
+            threads=threads, record_bytes=record_bytes,
+            total_ops=aggregate.total_ops,
+        )
+        tel.gauge(f"bench.{system}.throughput_mops").set(
+            aggregate.throughput_mops
+        )
+        tel.counter(f"bench.{system}.ops").inc(aggregate.total_ops)
     return aggregate

@@ -13,15 +13,11 @@ per-operation or per-byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Generator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
 
 from repro.baselines.backends import Backend
-from repro.experiments.common import (
-    MICROBENCH_SYSTEMS,
-    MicrobenchDeployment,
-    build_microbench,
-)
+from repro.experiments.common import MicrobenchDeployment, build_microbench
 from repro.faster.hybridlog import HybridLogConfig
 from repro.faster.store import FasterConfig, FasterKv
 from repro.sim.cpu import CostModel, Thread

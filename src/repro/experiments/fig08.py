@@ -11,7 +11,7 @@ shapes that must hold (Section 8.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.common import run_microbench

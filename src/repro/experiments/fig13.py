@@ -16,7 +16,7 @@ median stays < 10 us and p99 < 20 us, well under async RDMA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Optional, Sequence
 
 from repro.experiments.common import build_microbench

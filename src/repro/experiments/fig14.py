@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.common import build_microbench
 from repro.sim.cpu import CostModel
-from repro.sim.network import Link, PRIORITY_HIGH, PRIORITY_NORMAL
+from repro.sim.network import PRIORITY_HIGH, PRIORITY_NORMAL
 from repro.sim.tcp import TcpAckDemux, TcpFlow, TcpSink
 from repro.workloads.hashtable import HashTable, HashTableConfig, probe_worker
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Iterator, Optional
+from typing import Iterator
 
 __all__ = [
     "AccessError",

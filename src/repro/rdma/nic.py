@@ -23,7 +23,7 @@ the reliable-connection protocol:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.memory.region import AccessError, BoundsError, RegionRegistry
@@ -120,8 +120,38 @@ class RNIC:
         self._recv_queues: dict[int, deque[WorkRequest]] = {}
         self._write_contexts: dict[int, _WriteContext] = {}
         self._timer_armed: set[int] = set()
-        #: Optional tap invoked on every delivered (non-dropped) packet.
-        self.rx_hook: Optional[Callable[[RocePacket], None]] = None
+        #: Taps invoked on every delivered (non-dropped) packet, in
+        #: attach order.  Use :meth:`add_rx_hook` to chain; the
+        #: ``rx_hook`` property remains for legacy single-tap callers.
+        self._rx_hooks: list[Callable[[RocePacket], None]] = []
+        tel = sim.telemetry
+        self._tel = tel
+        self._tel_posts = tel.counter(f"nic.{node}.posts")
+        self._tel_doorbells = tel.counter(f"nic.{node}.doorbells")
+        self._tel_tx_packets = tel.counter(f"nic.{node}.tx_packets")
+        self._tel_tx_bytes = tel.counter(f"nic.{node}.tx_bytes")
+        self._tel_rx_packets = tel.counter(f"nic.{node}.rx_packets")
+        self._tel_rx_bytes = tel.counter(f"nic.{node}.rx_bytes")
+        self._tel_naks = tel.counter(f"nic.{node}.naks_sent")
+        self._tel_timeouts = tel.counter(f"nic.{node}.retransmit_timeouts")
+        self._tel_duplicates = tel.counter(f"nic.{node}.duplicates")
+
+    # ------------------------------------------------------------------
+    # Receive taps
+    # ------------------------------------------------------------------
+    @property
+    def rx_hook(self) -> Optional[Callable[[RocePacket], None]]:
+        """The most recently attached tap (legacy accessor)."""
+        return self._rx_hooks[-1] if self._rx_hooks else None
+
+    @rx_hook.setter
+    def rx_hook(self, hook: Optional[Callable[[RocePacket], None]]) -> None:
+        # Legacy assignment replaces all taps; prefer add_rx_hook.
+        self._rx_hooks = [hook] if hook is not None else []
+
+    def add_rx_hook(self, hook: Callable[[RocePacket], None]) -> None:
+        """Chain ``hook`` after any existing taps (never overwrites)."""
+        self._rx_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Setup (Phase I)
@@ -153,9 +183,11 @@ class RNIC:
         """
         if not qp.connected:
             raise RuntimeError(f"QP {qp.qpn} not connected")
+        self._tel_posts.inc()
         if wr.work_type is WorkType.RECV:
             self._recv_queues[qp.qpn].append(wr)
             return
+        self._tel_doorbells.inc()
         delay = self._reserve_send_slot()
         self.sim.call_after(delay, lambda: self._initiate(qp, wr))
 
@@ -301,6 +333,8 @@ class RNIC:
             raise RuntimeError(f"NIC {self.node!r} has no link attached")
         self.stats.packets_out += 1
         self.stats.bytes_out += packet.size_bytes
+        self._tel_tx_packets.inc()
+        self._tel_tx_bytes.inc(packet.size_bytes)
         if qp is not None:
             qp.packets_sent += 1
         self.link.send(packet)
@@ -314,13 +348,15 @@ class RNIC:
             return  # non-RDMA traffic (e.g. TCP) addressed to this host
         self.stats.packets_in += 1
         self.stats.bytes_in += packet.size_bytes
+        self._tel_rx_packets.inc()
+        self._tel_rx_bytes.inc(packet.size_bytes)
         self.sim.call_after(
             self.config.processing_delay_ns, lambda: self._dispatch(packet)
         )
 
     def _dispatch(self, packet: RocePacket) -> None:
-        if self.rx_hook is not None:
-            self.rx_hook(packet)
+        for hook in self._rx_hooks:
+            hook(packet)
         qp = self._qps.get(packet.bth.dest_qp)
         if qp is None:
             return  # no such QP: real HCAs silently drop
@@ -349,6 +385,7 @@ class RNIC:
     def _send_nak(self, qp: QueuePair, request_psn_src: str,
                   priority: Optional[int] = None) -> None:
         self.stats.naks_sent += 1
+        self._tel_naks.inc()
         packet = RocePacket(
             src=self.node,
             dst=request_psn_src,
@@ -380,6 +417,7 @@ class RNIC:
             return
         if status == "duplicate":
             self.stats.duplicates += 1
+            self._tel_duplicates.inc()
             # Reads are replayable: re-execute without advancing state.
         reth = packet.reth
         try:
@@ -428,6 +466,7 @@ class RNIC:
             return
         if status == "duplicate":
             self.stats.duplicates += 1
+            self._tel_duplicates.inc()
         opcode = packet.opcode
         if opcode.carries_reth:
             context = _WriteContext(
@@ -485,6 +524,7 @@ class RNIC:
             # we deliver the ACK anyway and count nothing (tests post recvs).
         else:
             self.stats.duplicates += 1
+            self._tel_duplicates.inc()
         if packet.bth.ack_request:
             self._send_ack(qp, packet.bth.psn, priority=packet.priority)
 
@@ -493,6 +533,7 @@ class RNIC:
         entry = qp.find_outstanding_by_psn(packet.bth.psn)
         if entry is None:
             self.stats.duplicates += 1
+            self._tel_duplicates.inc()
             return
         offset = psn_distance(entry.first_psn, packet.bth.psn) * self.config.mtu_bytes
         if entry.wr.local_addr:
@@ -512,7 +553,7 @@ class RNIC:
     def _requester_ack(self, qp: QueuePair, packet: RocePacket) -> None:
         aeth = packet.aeth
         if aeth.is_nak:
-            qp.naks_received += 1
+            qp.note_nak()
             self._go_back_n(qp)
             return
         retired = qp.complete_through(packet.bth.psn, self.sim.now)
@@ -520,6 +561,14 @@ class RNIC:
             self._complete(qp, done, CompletionStatus.SUCCESS)
 
     def _complete(self, qp: QueuePair, entry: _Outstanding, status: CompletionStatus) -> None:
+        if self._tel.enabled:
+            self._tel.complete(
+                f"rdma.{entry.wr.work_type.value}",
+                entry.issued_at, self.sim.now,
+                process=self.node, track=f"qp{qp.qpn}",
+                wr_id=entry.wr.wr_id, bytes=entry.wr.length,
+                status=status.value, retries=entry.retries,
+            )
         if not entry.wr.signaled:
             return
         qp.cq.push(
@@ -538,7 +587,12 @@ class RNIC:
     # ------------------------------------------------------------------
     def _go_back_n(self, qp: QueuePair) -> None:
         """Retransmit every outstanding WR, oldest first (Section 5.3)."""
-        qp.retransmissions += 1
+        qp.note_retransmission()
+        if self._tel.enabled:
+            self._tel.instant(
+                "rdma.go_back_n", process=self.node, track=f"qp{qp.qpn}",
+                outstanding=len(qp.outstanding),
+            )
         for entry in list(qp.outstanding):
             entry.retries += 1
             if entry.retries > self.config.max_retries:
@@ -585,5 +639,6 @@ class RNIC:
             return
         if self.sim.now - oldest.issued_at >= self.config.retransmit_timeout_ns:
             self.stats.retransmit_timeouts += 1
+            self._tel_timeouts.inc()
             self._go_back_n(qp)
         self._arm_timer(qp)

@@ -179,6 +179,12 @@ class QueuePair:
         self.packets_received = 0
         self.retransmissions = 0
         self.naks_received = 0
+        # Telemetry mirrors of the recovery stats, registered under the
+        # QP's stable name so retransmit storms show up per-connection.
+        tel = nic.sim.telemetry
+        self._tel_retransmits = tel.counter(f"qp.{qpn}.retransmits")
+        self._tel_naks = tel.counter(f"qp.{qpn}.naks_received")
+        self._tel_outstanding = tel.gauge(f"qp.{qpn}.outstanding")
 
     @property
     def connected(self) -> bool:
@@ -208,6 +214,17 @@ class QueuePair:
         if len(self.outstanding) >= self.MAX_OUTSTANDING:
             raise RuntimeError(f"QP {self.qpn} outstanding window full")
         self.outstanding.append(entry)
+        self._tel_outstanding.set(len(self.outstanding))
+
+    def note_retransmission(self) -> None:
+        """Count one Go-Back-N episode (plain stat + telemetry mirror)."""
+        self.retransmissions += 1
+        self._tel_retransmits.inc()
+
+    def note_nak(self) -> None:
+        """Count one received NAK (plain stat + telemetry mirror)."""
+        self.naks_received += 1
+        self._tel_naks.inc()
 
     def oldest_outstanding(self) -> Optional[_Outstanding]:
         return self.outstanding[0] if self.outstanding else None

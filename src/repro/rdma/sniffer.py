@@ -1,24 +1,29 @@
 """Packet capture and protocol tracing.
 
-A :class:`PacketSniffer` taps one or more RNICs (via their ``rx_hook``)
-and/or switch pipelines, recording every RoCEv2 packet with its
+A :class:`PacketSniffer` taps one or more RNICs (via their rx-hook
+chain) and/or switch pipelines, recording every RoCEv2 packet with its
 timestamp.  Captures render as human-readable protocol traces — the
-tool we used to validate the Cowbird-P4 recycling sequence — and can be
-filtered by opcode, QP, or time window.
+tool we used to validate the Cowbird-P4 recycling sequence — can be
+filtered by opcode, QP, or time window, and export as JSONL or Chrome
+``trace_event`` JSON (each packet an instant on its tap's track).
 
     sniffer = PacketSniffer(sim)
     sniffer.attach_nic(compute.nic)
     ... run ...
     print(sniffer.render())
+    sniffer.to_chrome_trace("packets.json")
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, Optional, Union
 
 from repro.rdma.packets import Opcode, RocePacket
 from repro.sim.engine import Simulator
+from repro.telemetry.export import write_chrome_trace
+from repro.telemetry.spans import SpanEvent
 
 __all__ = ["CapturedPacket", "PacketSniffer"]
 
@@ -59,16 +64,15 @@ class PacketSniffer:
     # Tap points
     # ------------------------------------------------------------------
     def attach_nic(self, nic, tap_name: Optional[str] = None) -> None:
-        """Record every packet delivered to ``nic`` (chains rx hooks)."""
+        """Record every packet delivered to ``nic``.
+
+        Registers via :meth:`~repro.rdma.nic.RNIC.add_rx_hook`, so the
+        tap *chains* with hooks installed before or after it — a later
+        ``nic.rx_hook = ...`` assignment can no longer silently replace
+        the sniffer.
+        """
         name = tap_name or f"rx@{nic.node}"
-        previous = nic.rx_hook
-
-        def hook(packet: RocePacket) -> None:
-            self._record(name, packet)
-            if previous is not None:
-                previous(packet)
-
-        nic.rx_hook = hook
+        nic.add_rx_hook(lambda packet: self._record(name, packet))
 
     def attach_switch(self, switch, tap_name: str = "switch") -> None:
         """Record every packet traversing ``switch`` (wraps its pipeline)."""
@@ -151,6 +155,50 @@ class PacketSniffer:
         if limit and len(self.packets) > limit:
             lines.append(f"... {len(self.packets) - limit} more packets")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write one JSON object per captured packet; returns the count."""
+        def _write(handle: IO[str]) -> int:
+            for packet in self.packets:
+                record = asdict(packet)
+                record["opcode"] = packet.opcode.name
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+            return len(self.packets)
+
+        if isinstance(destination, str):
+            with open(destination, "w") as handle:
+                return _write(handle)
+        return _write(destination)
+
+    def to_chrome_trace(self, destination: Union[str, IO[str]]) -> int:
+        """Write a Chrome ``trace_event`` JSON of the capture.
+
+        Each packet becomes an instant event on ``<tap>`` process /
+        ``<src>-><dst>`` track, so Perfetto shows per-tap packet
+        timelines; returns the number of events written.
+        """
+        events = [
+            SpanEvent(
+                name=packet.opcode.name,
+                begin_ns=packet.timestamp_ns,
+                end_ns=packet.timestamp_ns,
+                process=packet.tap,
+                track=f"{packet.src}->{packet.dst}",
+                attrs={
+                    "dest_qp": packet.dest_qp,
+                    "psn": packet.psn,
+                    "payload_bytes": packet.payload_bytes,
+                    "size_bytes": packet.size_bytes,
+                },
+            )
+            for packet in self.packets
+        ]
+        write_chrome_trace(destination, events)
+        return len(events)
 
     def __len__(self) -> int:
         return len(self.packets)

@@ -40,6 +40,7 @@ class RdmaVerbs:
     def __init__(self, nic: RNIC, cost: Optional[CostModel] = None) -> None:
         self.nic = nic
         self.cost = cost or CostModel()
+        self._tel = nic.sim.telemetry
 
     # ------------------------------------------------------------------
     # Primitive verbs
@@ -116,8 +117,12 @@ class RdmaVerbs:
             rkey=rkey,
             length=length,
         )
-        yield from self.post_send(thread, qp, wr)
-        completions = yield from self.spin_poll(thread, qp.cq, count=1)
+        with self._tel.span(
+            "verbs.read_sync", process=self.nic.node, track=thread.name,
+            qp=qp.qpn, bytes=length,
+        ):
+            yield from self.post_send(thread, qp, wr)
+            completions = yield from self.spin_poll(thread, qp.cq, count=1)
         completion = completions[-1]
         self._check(completion)
         return completion
@@ -139,8 +144,12 @@ class RdmaVerbs:
             rkey=rkey,
             length=length,
         )
-        yield from self.post_send(thread, qp, wr)
-        completions = yield from self.spin_poll(thread, qp.cq, count=1)
+        with self._tel.span(
+            "verbs.write_sync", process=self.nic.node, track=thread.name,
+            qp=qp.qpn, bytes=length,
+        ):
+            yield from self.post_send(thread, qp, wr)
+            completions = yield from self.spin_poll(thread, qp.cq, count=1)
         completion = completions[-1]
         self._check(completion)
         return completion

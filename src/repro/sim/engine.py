@@ -22,6 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -231,11 +233,28 @@ class Process:
 class Simulator:
     """The event loop: a clock plus a deterministic priority queue."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._processes: list[Process] = []
+        self.telemetry: Telemetry = NULL_TELEMETRY
+        self._tel_events = NULL_TELEMETRY.counter("sim.events_dispatched")
+        self._tel_spawns = NULL_TELEMETRY.counter("sim.processes_spawned")
+        self.attach_telemetry(telemetry or NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Bind ``telemetry`` to this simulator's clock and event loop.
+
+        Must run before components (links, NICs, engines) are built —
+        they cache their instruments from ``sim.telemetry`` at
+        construction time so the per-event cost stays one no-op call
+        when telemetry is disabled.
+        """
+        self.telemetry = telemetry
+        telemetry.bind_clock(lambda: self.now)
+        self._tel_events = telemetry.counter("sim.events_dispatched")
+        self._tel_spawns = telemetry.counter("sim.processes_spawned")
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -275,6 +294,18 @@ class Simulator:
         process = Process(self, generator, name=name)
         self._processes.append(process)
         self.call_at(self.now, lambda: process._step(None))
+        self._tel_spawns.inc()
+        if self.telemetry.enabled:
+            spawned_at = self.now
+
+            def _record_lifetime(future: Future) -> None:
+                self.telemetry.complete(
+                    "sim.process", spawned_at, self.now,
+                    process="sim", track=process.name,
+                    ok=future.exception is None,
+                )
+
+            process.completion.add_callback(_record_lifetime)
         return process
 
     # ------------------------------------------------------------------
@@ -294,6 +325,7 @@ class Simulator:
                 return self.now
             heapq.heappop(self._queue)
             self.now = when
+            self._tel_events.inc()
             callback()
         if until is not None:
             self.now = max(self.now, until)
@@ -316,6 +348,7 @@ class Simulator:
                     f"process {process.name!r} missed deadline {deadline}"
                 )
             self.now = when
+            self._tel_events.inc()
             callback()
         return process.completion.value
 

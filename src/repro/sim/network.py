@@ -174,12 +174,20 @@ class Link:
         self.stats = LinkStats()
         self._queues: list[deque[Packet]] = [deque() for _ in range(num_priorities)]
         self._busy = False
+        tel = sim.telemetry
+        self._tel = tel
+        self._tel_tx_packets = tel.counter(f"link.{name}.tx_packets")
+        self._tel_tx_bytes = tel.counter(f"link.{name}.tx_bytes")
+        self._tel_drops = tel.counter(f"link.{name}.drops")
+        self._tel_queue_depth = tel.gauge(f"link.{name}.queue_depth")
+        self._tel_busy_ns = tel.gauge(f"link.{name}.busy_ns")
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Enqueue ``packet`` for transmission."""
         priority = min(max(packet.priority, 0), self.num_priorities - 1)
         self._queues[priority].append(packet)
+        self._tel_queue_depth.set(self.queued_packets())
         if not self._busy:
             self._transmit_next()
 
@@ -204,13 +212,25 @@ class Link:
             + self.fixed_packet_overhead_ns
         )
         self.stats.busy_ns += serialization
+        if self._tel.enabled:
+            self._tel_busy_ns.set(self.stats.busy_ns)
+            self._tel_queue_depth.set(self.queued_packets())
+            self._tel.complete(
+                "link.tx", self.sim.now, self.sim.now + serialization,
+                process="net", track=self.name,
+                size_bytes=packet.size_bytes, priority=packet.priority,
+                dst=packet.dst,
+            )
         self.sim.call_after(serialization, lambda: self._on_serialized(packet))
 
     def _on_serialized(self, packet: Packet) -> None:
         if self.fault_injector is not None and self.fault_injector.should_drop(packet):
             self.stats.packets_dropped += 1
+            self._tel_drops.inc()
         else:
             self.stats.record(packet)
+            self._tel_tx_packets.inc()
+            self._tel_tx_bytes.inc(packet.size_bytes)
             self.sim.call_after(
                 self.propagation_delay_ns,
                 lambda: self.endpoint.receive(packet, self),
@@ -282,6 +302,11 @@ class Switch:
         self.packets_consumed = 0
         self.packets_generated = 0
         self.packets_unroutable = 0
+        tel = sim.telemetry
+        self._tel_forwarded = tel.counter(f"switch.{name}.forwarded")
+        self._tel_consumed = tel.counter(f"switch.{name}.consumed")
+        self._tel_generated = tel.counter(f"switch.{name}.generated")
+        self._tel_unroutable = tel.counter(f"switch.{name}.unroutable")
 
     # ------------------------------------------------------------------
     def attach(self, node_id: str, egress_link: Link) -> None:
@@ -304,9 +329,11 @@ class Switch:
             outputs = self.pipeline(packet, link)
             if not outputs:
                 self.packets_consumed += 1
+                self._tel_consumed.inc()
                 return
             if outputs != [packet]:
                 self.packets_generated += len(outputs)
+                self._tel_generated.inc(len(outputs))
             for out in outputs:
                 self._forward(out)
         else:
@@ -315,14 +342,17 @@ class Switch:
     def inject(self, packet: Packet) -> None:
         """Data-plane packet generation: send without an ingress port."""
         self.packets_generated += 1
+        self._tel_generated.inc()
         self._forward(packet)
 
     def _forward(self, packet: Packet) -> None:
         egress = self._ports.get(packet.dst)
         if egress is None:
             self.packets_unroutable += 1
+            self._tel_unroutable.inc()
             return
         self.packets_forwarded += 1
+        self._tel_forwarded.inc()
         self.sim.call_after(self.forward_delay_ns, lambda: egress.send(packet))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -8,19 +8,22 @@ instruments the experiment harness uses to produce those numbers.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.sim.units import S
 
-__all__ = ["BandwidthMeter", "LatencyRecorder", "percentile"]
+__all__ = ["BandwidthMeter", "LatencyRecorder", "mops", "percentile"]
 
 
 def percentile(samples: Iterable[float], fraction: float) -> float:
     """Nearest-rank percentile of ``samples`` at ``fraction`` in [0, 1].
 
+    Always returns a ``float``, regardless of the sample element type.
+
     >>> percentile([1, 2, 3, 4], 0.5)
-    2
+    2.0
     """
     data = sorted(samples)
     if not data:
@@ -28,7 +31,7 @@ def percentile(samples: Iterable[float], fraction: float) -> float:
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction out of range: {fraction}")
     rank = max(1, math.ceil(fraction * len(data)))
-    return data[rank - 1]
+    return float(data[rank - 1])
 
 
 @dataclass
@@ -60,23 +63,56 @@ class BandwidthMeter:
 
 @dataclass
 class LatencyRecorder:
-    """Collects per-operation latencies and reports summary statistics."""
+    """Collects per-operation latencies and reports summary statistics.
+
+    By default every sample is kept.  Setting ``max_samples`` switches to
+    bounded-memory mode: count, sum, and max stay exact while the sample
+    list becomes a uniform reservoir (Vitter's Algorithm R, seeded for
+    determinism) from which the percentile estimates are drawn.
+    """
 
     samples_ns: list[float] = field(default_factory=list)
+    #: Keep at most this many samples (``None`` = unbounded).
+    max_samples: Optional[int] = None
+    #: Reservoir RNG seed; same seed + same inputs = same percentiles.
+    seed: int = 0
+    _count: int = field(default=0, repr=False)
+    _sum_ns: float = field(default=0.0, repr=False)
+    _max_ns: float = field(default=0.0, repr=False)
+    _rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1: {self.max_samples}")
 
     def record(self, latency_ns: float) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency: {latency_ns}")
-        self.samples_ns.append(latency_ns)
+        self._count += 1
+        self._sum_ns += latency_ns
+        if latency_ns > self._max_ns:
+            self._max_ns = latency_ns
+        if self.max_samples is None or len(self.samples_ns) < self.max_samples:
+            self.samples_ns.append(latency_ns)
+            return
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        slot = self._rng.randrange(self._count)
+        if slot < self.max_samples:
+            self.samples_ns[slot] = latency_ns
 
     def __len__(self) -> int:
         return len(self.samples_ns)
 
     @property
     def count(self) -> int:
-        return len(self.samples_ns)
+        # Exact even in reservoir mode; falls back to the list length for
+        # recorders built around a pre-populated ``samples_ns``.
+        return max(self._count, len(self.samples_ns))
 
     def mean_ns(self) -> float:
+        if self._count:
+            return self._sum_ns / self._count
         if not self.samples_ns:
             raise ValueError("no samples recorded")
         return sum(self.samples_ns) / len(self.samples_ns)
@@ -84,11 +120,20 @@ class LatencyRecorder:
     def median_us(self) -> float:
         return percentile(self.samples_ns, 0.5) / 1_000.0
 
+    def p50_ns(self) -> float:
+        return percentile(self.samples_ns, 0.5)
+
     def p99_us(self) -> float:
         return percentile(self.samples_ns, 0.99) / 1_000.0
 
+    def p999_ns(self) -> float:
+        return percentile(self.samples_ns, 0.999)
+
     def max_us(self) -> float:
-        return max(self.samples_ns) / 1_000.0
+        if not self.samples_ns and not self._count:
+            raise ValueError("no samples recorded")
+        observed = max(self.samples_ns) if self.samples_ns else 0.0
+        return max(self._max_ns, observed) / 1_000.0
 
 
 def mops(ops: int, elapsed_ns: float) -> float:

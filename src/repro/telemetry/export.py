@@ -1,0 +1,127 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL streams, metric dumps.
+
+The Chrome format (loadable in ``chrome://tracing`` and Perfetto) maps
+our model onto its process/thread axes: one "process" per simulated
+node (compute, pool, switch, ...) and one "thread" per track (sim
+thread, QP, link).  Timestamps convert from simulated nanoseconds to
+the format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Union
+
+from repro.telemetry.spans import SpanEvent
+
+__all__ = [
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+class _TrackIndex:
+    """Stable pid/tid allocation for (process, track) pairs."""
+
+    def __init__(self) -> None:
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[str, str], int] = {}
+
+    def pid(self, process: str) -> int:
+        if process not in self._pids:
+            self._pids[process] = len(self._pids) + 1
+        return self._pids[process]
+
+    def tid(self, process: str, track: str) -> int:
+        key = (process, track)
+        if key not in self._tids:
+            self._tids[key] = len(self._tids) + 1
+        return self._tids[key]
+
+    def metadata_events(self) -> list[dict]:
+        events = []
+        for process, pid in sorted(self._pids.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        for (process, track), tid in sorted(
+            self._tids.items(), key=lambda kv: kv[1]
+        ):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self._pids[process],
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return events
+
+
+def _event_to_chrome(event: SpanEvent, index: _TrackIndex) -> dict:
+    pid = index.pid(event.process)
+    tid = index.tid(event.process, event.track)
+    base = {
+        "name": event.name,
+        "pid": pid,
+        "tid": tid,
+        "ts": event.begin_ns / 1000.0,  # trace_event wants microseconds
+        "args": dict(event.attrs),
+    }
+    if event.is_instant:
+        base["ph"] = "i"
+        base["s"] = "t"  # thread-scoped instant
+    else:
+        base["ph"] = "X"
+        base["dur"] = event.duration_ns / 1000.0
+    return base
+
+
+def chrome_trace_document(
+    events: Iterable[SpanEvent], metrics: Optional[dict] = None
+) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document for a span list."""
+    index = _TrackIndex()
+    trace_events = [_event_to_chrome(event, index) for event in events]
+    document = {
+        "traceEvents": index.metadata_events() + trace_events,
+        "displayTimeUnit": "ns",
+    }
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics}
+    return document
+
+
+def write_chrome_trace(
+    destination: Union[str, IO[str]],
+    events: Iterable[SpanEvent],
+    metrics: Optional[dict] = None,
+) -> None:
+    """Serialize ``events`` (plus an optional metrics dump) to ``destination``."""
+    document = chrome_trace_document(events, metrics)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, destination)
+
+
+def write_jsonl(
+    destination: Union[str, IO[str]], events: Iterable[SpanEvent]
+) -> None:
+    """One JSON object per line; streams well and diffs deterministically."""
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            write_jsonl(handle, events)
+        return
+    for event in events:
+        destination.write(json.dumps(event.to_dict()))
+        destination.write("\n")

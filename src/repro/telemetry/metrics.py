@@ -1,0 +1,262 @@
+"""Hierarchical metrics: counters, gauges, and log-bucket histograms.
+
+Components register instruments under stable dotted names —
+``nic.compute.tx_bytes``, ``qp.103.retransmits``, ``p4.probe_rounds``,
+``spot.batch_flushes`` — into one :class:`MetricsRegistry` per
+:class:`~repro.telemetry.Telemetry` instance.  ``snapshot()`` flattens
+everything into a plain dict for JSON dumps and assertions.
+
+Every instrument has a *null* twin whose mutators are no-ops; the null
+registry hands those out so that instrumented hot paths cost one
+attribute load and one no-op call when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "log_bucket_bounds",
+]
+
+
+def log_bucket_bounds(
+    lo: float = 64.0, hi: float = 64e6, factor: float = 4.0
+) -> tuple[float, ...]:
+    """Fixed geometric bucket upper bounds covering ``[lo, hi]``.
+
+    The defaults span 64 ns .. 64 ms at 4x per bucket — wide enough for
+    everything from a cache miss to a Go-Back-N timeout episode.
+
+    >>> log_bucket_bounds(1, 8, 2)
+    (1.0, 2.0, 4.0, 8.0)
+    """
+    if lo <= 0 or factor <= 1:
+        raise ValueError("need lo > 0 and factor > 1")
+    bounds = []
+    edge = float(lo)
+    while edge < hi * (1 + 1e-12):
+        bounds.append(edge)
+        edge *= factor
+    return tuple(bounds)
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, packets)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, outstanding window size)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """A distribution over fixed log-spaced buckets.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last edge.  Exact ``sum``/``count``/
+    ``max`` ride along so means stay precise even though the
+    distribution is bucketed.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "max")
+
+    def __init__(self, name: str, bounds: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        if bounds is None:
+            bounds = log_bucket_bounds()
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {name}: need at least one bucket bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram {name}: bounds must strictly increase")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative observation {value}")
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value (binary search)
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.bucket_counts[lo] += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", bounds=(1.0,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+def _validate_name(name: str) -> None:
+    if not name or name.startswith(".") or name.endswith(".") or ".." in name:
+        raise ValueError(f"invalid metric name {name!r}")
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by hierarchical dotted name."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        _validate_name(name)
+        instrument = Histogram(name, bounds)
+        self._instruments[name] = instrument
+        return instrument
+
+    def _get_or_create(self, name: str, cls):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        _validate_name(name)
+        instrument = cls(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    # ------------------------------------------------------------------
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """Flat ``{name: value}`` dict; histograms expand to sub-dicts."""
+        out: dict = {}
+        for name in self.names(prefix):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.to_dict()
+            elif isinstance(instrument, Gauge):
+                out[name] = {"value": instrument.value, "max": instrument.max_value}
+            else:
+                out[name] = instrument.value  # type: ignore[union-attr]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry that hands out shared no-op instruments and stores nothing."""
+
+    def counter(self, name: str) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()

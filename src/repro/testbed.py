@@ -21,7 +21,9 @@ from repro.rdma.qp import CompletionQueue, QueuePair
 from repro.rdma.verbs import RdmaVerbs
 from repro.sim.cpu import CPU, CostModel
 from repro.sim.engine import Simulator
-from repro.sim.network import DuplexLink, FaultInjector, Link, Switch
+from repro.sim.network import FaultInjector, Link, Switch
+from repro import telemetry as _telemetry
+from repro.telemetry import Telemetry
 
 __all__ = ["Host", "Testbed"]
 
@@ -81,8 +83,12 @@ class Testbed:
         bandwidth_gbps: Optional[float] = None,
         propagation_delay_ns: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        self.sim = Simulator()
+        # Telemetry must be attached before any Link/NIC/engine is built
+        # so components cache live instruments; fall back to the
+        # process-wide active telemetry (``repro.telemetry.activate``).
+        self.sim = Simulator(telemetry=telemetry or _telemetry.current())
         self.seed = seed
         self.cost = cost or CostModel()
         self.bandwidth_gbps = bandwidth_gbps or self.cost.link_bandwidth_gbps

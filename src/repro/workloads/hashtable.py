@@ -11,7 +11,7 @@ to the backend's limit.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from repro.baselines.backends import Backend

@@ -9,10 +9,9 @@ space instead of clustering at low ids.
 from __future__ import annotations
 
 import enum
-import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 __all__ = [
     "UniformGenerator",

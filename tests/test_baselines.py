@@ -3,12 +3,10 @@
 import pytest
 
 from repro.baselines import (
-    AifmBackend,
     AifmConfig,
     LocalMemoryBackend,
     RedyBackend,
     RedyConfig,
-    SsdBackend,
     SsdConfig,
     SsdDrive,
 )

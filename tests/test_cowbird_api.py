@@ -10,13 +10,7 @@ import pytest
 
 from repro.cowbird.api import BufferFullError, CowbirdConfig
 from repro.cowbird.deploy import deploy_cowbird
-from repro.cowbird.wire import (
-    GreenBlock,
-    RedBlock,
-    RequestMetadata,
-    RwType,
-    decode_request_id,
-)
+from repro.cowbird.wire import GreenBlock, RedBlock, RwType, decode_request_id
 
 
 def deploy(**kwargs):

@@ -1,10 +1,8 @@
 """Integration tests for the Cowbird-Spot offload engine (Section 6)."""
 
-import pytest
 
 from repro.cowbird.deploy import deploy_cowbird
 from repro.cowbird.spot_engine import SpotEngineConfig
-from repro.cowbird.wire import RwType
 
 
 def run_app(dep, generator, deadline=200_000_000):

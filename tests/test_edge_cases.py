@@ -1,12 +1,10 @@
 """Edge-case and stress tests across the stack."""
 
-import pytest
 
 from repro.cowbird.api import CowbirdConfig
 from repro.cowbird.deploy import deploy_cowbird
 from repro.cowbird.wire import RequestMetadata, RwType
 from repro.rdma.packets import PSN_MODULUS
-from repro.rdma.qp import WorkRequest, WorkType
 from repro.testbed import Testbed
 
 

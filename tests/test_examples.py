@@ -9,7 +9,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -41,3 +40,9 @@ class TestFastExamples:
         out = run_example("offload_cost.py", capsys)
         assert "Table 1" in out
         assert "duty cycle" in out
+
+    def test_telemetry_tour(self, capsys):
+        out = run_example("telemetry_tour.py", capsys)
+        assert "nic.compute.rx_packets" in out
+        assert "spot.read" in out
+        assert "chrome trace written to" in out

@@ -8,7 +8,6 @@ import pytest
 
 from repro.experiments import fig01, fig02, fig08, fig12, fig13, tab01, tab05
 from repro.experiments.common import run_microbench
-from repro.sim.cpu import CostModel
 
 
 class TestFig01:

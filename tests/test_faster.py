@@ -3,12 +3,11 @@
 import pytest
 
 from repro.experiments.common import build_microbench
-from repro.experiments.faster_bench import load_backing, run_faster_bench, ycsb_worker
+from repro.experiments.faster_bench import load_backing, run_faster_bench
 from repro.faster.hashindex import HashIndex
 from repro.faster.hybridlog import HybridLog, HybridLogConfig
 from repro.faster.store import FasterConfig, FasterKv
 from repro.sim.cpu import CostModel
-from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
 
 
 class TestHashIndex:

@@ -14,7 +14,7 @@ from repro.sim.network import (
     PRIORITY_NORMAL,
     Switch,
 )
-from repro.sim.tcp import TcpAckDemux, TcpFlow, TcpSegment, TcpSink
+from repro.sim.tcp import TcpAckDemux, TcpFlow, TcpSink
 from repro.sim.units import transmission_time_ns
 
 

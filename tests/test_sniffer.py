@@ -1,6 +1,5 @@
 """Tests for the packet sniffer, used to validate protocol sequences."""
 
-import pytest
 
 from repro.cowbird.deploy import deploy_cowbird
 from repro.rdma.packets import Opcode
@@ -75,6 +74,81 @@ class TestBasicCapture:
         bed.sim.run_until_complete(bed.sim.spawn(op()), deadline=1e9)
         assert len(sniffer) == 1
         assert sniffer.dropped_over_capacity >= 2
+
+
+class TestHookChaining:
+    def test_attach_chains_with_existing_hooks(self):
+        """The sniffer must tap alongside other rx hooks, not replace them."""
+        bed = Testbed()
+        compute = bed.add_host("compute", cpu_cores=2)
+        pool = bed.add_host("pool")
+        seen = []
+        pool.nic.add_rx_hook(lambda packet: seen.append(packet))
+        sniffer = PacketSniffer(bed.sim)
+        sniffer.attach_nic(pool.nic)
+        later = []
+        pool.nic.add_rx_hook(lambda packet: later.append(packet))
+        qp_c, _ = bed.connect_qps(compute, pool)
+        remote = pool.registry.register(1 << 12)
+        local = compute.registry.register(1 << 12)
+        thread = compute.cpu.thread()
+
+        def op():
+            yield from compute.verbs.read_sync(
+                thread, qp_c, local.base_addr, remote.base_addr, remote.rkey, 64
+            )
+
+        bed.sim.run_until_complete(bed.sim.spawn(op()), deadline=1e9)
+        assert len(sniffer) >= 1
+        assert len(seen) == len(later) == len(sniffer)
+
+    def test_legacy_rx_hook_property_round_trips(self):
+        bed = Testbed()
+        host = bed.add_host("h")
+        assert host.nic.rx_hook is None
+        hook = lambda packet: None  # noqa: E731
+        host.nic.rx_hook = hook
+        assert host.nic.rx_hook is hook
+        host.nic.rx_hook = None
+        assert host.nic.rx_hook is None
+
+
+class TestExport:
+    def make_capture(self):
+        return TestBasicCapture().run_one_read()
+
+    def test_to_jsonl(self, tmp_path):
+        sniffer = self.make_capture()
+        path = tmp_path / "packets.jsonl"
+        count = sniffer.to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(sniffer) == len(lines)
+        import json
+
+        first = json.loads(lines[0])
+        assert first["opcode"] == "RC_RDMA_READ_REQUEST"
+        assert first["src"] == "compute"
+        assert first["timestamp_ns"] >= 0
+        assert set(first) == {
+            "timestamp_ns", "tap", "src", "dst", "opcode",
+            "dest_qp", "psn", "payload_bytes", "size_bytes",
+        }
+
+    def test_to_chrome_trace(self, tmp_path):
+        sniffer = self.make_capture()
+        path = tmp_path / "packets.json"
+        count = sniffer.to_chrome_trace(str(path))
+        import json
+
+        doc = json.loads(path.read_text())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == count == len(sniffer)
+        taps = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert taps == {"rx@compute", "rx@pool"}
+        assert all("psn" in e["args"] for e in instants)
 
 
 class TestProtocolValidation:

@@ -7,9 +7,7 @@ instances to a fresh agent on a new host, which reconstructs its cursors
 from the client's red block and re-executes the incomplete suffix.
 """
 
-import pytest
 
-from repro.cowbird.api import CowbirdClient, CowbirdConfig
 from repro.cowbird.deploy import deploy_cowbird
 from repro.cowbird.spot_engine import CowbirdSpotEngine, SpotEngineConfig
 from repro.cowbird.wire import RwType, decode_request_id

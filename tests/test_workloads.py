@@ -1,11 +1,9 @@
 """Unit tests for workload generators (repro.workloads)."""
 
-import math
 from collections import Counter
 
 import pytest
 
-from repro.sim.cpu import CostModel
 from repro.workloads.hashtable import HashTable, HashTableConfig
 from repro.workloads.ycsb import (
     UniformGenerator,
