@@ -1,0 +1,38 @@
+"""Macrobenchmark: one representative Figure 8 sweep point.
+
+Times ``run_microbench("cowbird", 4, ...)`` end to end — the engine,
+NIC, switch, and packet layers together — so regressions that hide
+between microbenchmarks still show up.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments.common import run_microbench
+
+__all__ = ["bench_fig08_point", "run"]
+
+
+def bench_fig08_point(ops_per_thread: int = 200) -> float:
+    """Simulated ops/sec of wall-clock for one cowbird point."""
+    started = time.perf_counter()
+    result = run_microbench(
+        "cowbird", 4, record_bytes=256, ops_per_thread=ops_per_thread,
+        seed=8, pipeline_depth=512,
+    )
+    wall = time.perf_counter() - started
+    return result.total_ops / wall
+
+
+def run(repeats: int = 3) -> dict:
+    return {
+        "fig08_point_ops_per_sec": max(
+            bench_fig08_point() for _ in range(repeats)
+        ),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=2))

@@ -1,0 +1,98 @@
+"""Run every perf microbenchmark and write ``BENCH_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py            # measure
+    PYTHONPATH=src python benchmarks/perf/run_all.py --check    # CI gate
+
+``--check`` compares each metric against ``benchmarks/perf/baseline.json``
+and exits non-zero when anything regresses by more than 2x (wall-clock
+noise on shared runners is real; 2x is a smoke alarm, not a ruler).  A
+missing baseline soft-fails: the run records its numbers and passes, so
+the first run on a new machine seeds the baseline instead of failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_engine
+import bench_fig08_point
+import bench_packets
+
+#: Regression gate: fail when current < baseline / MAX_REGRESSION.
+MAX_REGRESSION = 2.0
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BASELINE_PATH = os.path.join(
+    REPO_ROOT, "benchmarks", "perf", "baseline.json"
+)
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+
+def measure(repeats: int = 3) -> dict:
+    metrics: dict = {}
+    for module in (bench_engine, bench_packets, bench_fig08_point):
+        metrics.update(module.run(repeats=repeats))
+    return metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >2x regression vs the baseline")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=OUTPUT_PATH)
+    args = parser.parse_args(argv)
+
+    metrics = measure(repeats=args.repeats)
+    document = {"metrics": metrics}
+
+    baseline = None
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+        document["baseline"] = baseline["metrics"]
+        # The one-time pre/post measurement of the event-loop rewrite
+        # rides along so BENCH_engine.json records the PR's speedup.
+        if "pr_comparison" in baseline:
+            document["pr_comparison"] = baseline["pr_comparison"]
+
+    failures = []
+    for name, value in sorted(metrics.items()):
+        line = f"  {name:<34s} {value:>14,.0f}/s"
+        if baseline and name in baseline.get("metrics", {}):
+            ref = baseline["metrics"][name]
+            ratio = value / ref if ref else float("inf")
+            line += f"   ({ratio:.2f}x of baseline)"
+            if ratio < 1.0 / MAX_REGRESSION:
+                failures.append(f"{name}: {value:,.0f}/s is worse than "
+                                f"1/{MAX_REGRESSION:.0f} of baseline {ref:,.0f}/s")
+        print(line)
+
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwritten to {args.output}")
+
+    if baseline is None:
+        print(f"no baseline at {BASELINE_PATH}; soft-pass "
+              "(commit this run's numbers to seed it)")
+        return 0
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,16 +5,24 @@ Usage::
     python -m repro list
     python -m repro run fig01
     python -m repro run fig08 --ops 300 --json out.json
+    python -m repro run fig08 --parallel 8 --json out.json
     python -m repro run fig01 --trace trace.json --metrics
     python -m repro metrics fig01 --prefix nic.
     python -m repro run all
 
 Each experiment prints the same rows/series the paper reports; ``--json``
 additionally dumps the raw records (plus a ``meta`` block with seeds,
-version, sim duration, and wall-clock) for plotting.  ``--trace`` writes
-a Chrome ``trace_event`` JSON of the run, loadable in Perfetto;
+version, sim duration, and events dispatched) for plotting.  ``--trace``
+writes a Chrome ``trace_event`` JSON of the run, loadable in Perfetto;
 ``--metrics`` (or the ``metrics`` subcommand) prints the flat telemetry
 counter/gauge/histogram snapshot.
+
+Sweep experiments (``fig01``, ``fig08``, ``fig09``, ``fig13``) fan their
+point grids out over ``--parallel N`` worker processes; every point
+carries its own seed, results merge in submission order, and the JSON
+output is byte-identical for any ``N`` (pinned by ``tests/test_sweep.py``).
+Points are cached on disk in ``.repro_cache/`` keyed by (repro version,
+point config); ``--no-cache`` bypasses the cache.
 """
 
 from __future__ import annotations
@@ -43,13 +51,36 @@ DEFAULT_SEEDS: dict[str, int | None] = {
 }
 
 
+#: Experiments whose point grid runs through the sweep harness.
+SWEEPABLE = ("fig01", "fig08", "fig09", "fig13")
+
+#: Default on-disk cache for sweep points (bypass with ``--no-cache``).
+CACHE_DIR = ".repro_cache"
+
+
 def _seed_kw(args) -> dict[str, int]:
     seed = getattr(args, "seed", None)
     return {} if seed is None else {"seed": seed}
 
 
+def _sweep_kw(args) -> dict[str, Any]:
+    """Harness routing for sweepable experiments.
+
+    Default is the harness with one worker (identical bytes to any
+    ``--parallel N``); ``--trace`` falls back to the legacy inline path
+    because span events only exist in-process.
+    """
+    if getattr(args, "trace", None):
+        return {}
+    kw: dict[str, Any] = {"parallel": getattr(args, "parallel", None) or 1}
+    if not getattr(args, "no_cache", False):
+        kw["cache_dir"] = CACHE_DIR
+    return kw
+
+
 def _run_fig01(args) -> tuple[Any, str]:
-    rows = fig01.run(ops_per_thread=args.ops or 300, **_seed_kw(args))
+    rows = fig01.run(ops_per_thread=args.ops or 300, **_seed_kw(args),
+                     **_sweep_kw(args))
     return rows, fig01.format_rows(rows)
 
 
@@ -60,13 +91,15 @@ def _run_fig02(args) -> tuple[Any, str]:
 
 def _run_fig08(args) -> tuple[Any, str]:
     cells = fig08.run(ops_per_thread=args.ops or 300,
-                      thread_counts=(1, 2, 4, 8, 16), **_seed_kw(args))
+                      thread_counts=(1, 2, 4, 8, 16), **_seed_kw(args),
+                      **_sweep_kw(args))
     return cells, fig08.format_cells(cells)
 
 
 def _run_fig09(args) -> tuple[Any, str]:
     results = fig09.run(ops_per_thread=args.ops or 250,
-                        record_count=12_000, **_seed_kw(args))
+                        record_count=12_000, **_seed_kw(args),
+                        **_sweep_kw(args))
     return results, fig09.format_results(results)
 
 
@@ -88,7 +121,8 @@ def _run_fig12(args) -> tuple[Any, str]:
 
 
 def _run_fig13(args) -> tuple[Any, str]:
-    rows = fig13.run(ops=args.ops or 200, **_seed_kw(args))
+    rows = fig13.run(ops=args.ops or 200, **_seed_kw(args),
+                     **_sweep_kw(args))
     return rows, fig13.format_rows(rows)
 
 
@@ -167,6 +201,12 @@ def main(argv: list[str] | None = None) -> int:
                             help="operations per thread (scale knob)")
     run_parser.add_argument("--seed", type=int, default=None,
                             help="override the experiment's default seed")
+    run_parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                            help="worker processes for sweep experiments "
+                                 f"({', '.join(SWEEPABLE)}); output is "
+                                 "byte-identical for any N")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help=f"skip the {CACHE_DIR}/ sweep-point cache")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also dump raw records as JSON")
     run_parser.add_argument("--trace", metavar="PATH", default=None,
@@ -235,7 +275,6 @@ def main(argv: list[str] | None = None) -> int:
                 "total_ops": total_ops,
                 "sim_duration_ns": tel.tracer.last_timestamp_ns(),
                 "events_dispatched": snapshot.get("sim.events_dispatched", 0),
-                "wall_clock_s": round(elapsed, 3),
             }
             if args.metrics:
                 print(f"-- {name}: telemetry metrics")

@@ -41,6 +41,7 @@ from repro.cowbird.buffers import MetadataRing, skip_pad
 from repro.rdma.packets import (
     Bth,
     Opcode,
+    PacketPool,
     Reth,
     RocePacket,
     psn_add,
@@ -193,7 +194,7 @@ class _Channel:
         return op
 
     def _send_read_packet(self, op: _EngineOp, addr: int, rkey: int, length: int) -> None:
-        packet = RocePacket(
+        packet = self.engine.pool.acquire(
             src=self.engine.node,
             dst=self.peer_node,
             bth=Bth(
@@ -238,8 +239,15 @@ class _Channel:
         dest_addr: int,
         dest_rkey: int,
         payload: bytes,
+        recycle: Optional[RocePacket] = None,
     ) -> None:
-        """Stream one converted segment of a write train."""
+        """Stream one converted segment of a write train.
+
+        When ``recycle`` is given (the Phase III read-response-to-write
+        conversion), the incoming packet is rewritten in place — headers
+        swapped, payload untouched — so the steady-state execute path
+        allocates no packet objects.
+        """
         n = op.num_psns
         if n == 1:
             opcode = Opcode.RC_RDMA_WRITE_ONLY
@@ -250,25 +258,41 @@ class _Channel:
         else:
             opcode = Opcode.RC_RDMA_WRITE_MIDDLE
         is_tail = segment_index == n - 1
-        packet = RocePacket(
-            src=self.engine.node,
-            dst=self.peer_node,
-            bth=Bth(
-                opcode=opcode,
-                dest_qp=self.peer_qpn,
-                psn=psn_add(op.first_psn, segment_index),
-                ack_request=is_tail,
-            ),
-            reth=Reth(
+        reth = (
+            Reth(
                 virtual_address=dest_addr,
                 remote_key=dest_rkey,
                 dma_length=op.expect_bytes,
             )
             if opcode.carries_reth
-            else None,
-            payload=payload,
-            priority=self.priority,
+            else None
         )
+        psn = psn_add(op.first_psn, segment_index)
+        if recycle is not None:
+            packet = recycle.recycle(
+                src=self.engine.node,
+                dst=self.peer_node,
+                opcode=opcode,
+                dest_qp=self.peer_qpn,
+                psn=psn,
+                ack_request=is_tail,
+                reth=reth,
+                priority=self.priority,
+            )
+        else:
+            packet = self.engine.pool.acquire(
+                src=self.engine.node,
+                dst=self.peer_node,
+                bth=Bth(
+                    opcode=opcode,
+                    dest_qp=self.peer_qpn,
+                    psn=psn,
+                    ack_request=is_tail,
+                ),
+                reth=reth,
+                payload=payload,
+                priority=self.priority,
+            )
         self.engine.switch.inject(packet)
 
     # ------------------------------------------------------------------
@@ -345,6 +369,9 @@ class CowbirdP4Engine:
         self.config = config or P4EngineConfig()
         self.node = node
         self.stats = P4EngineStats()
+        #: Free-list for switch-generated packets; shells come back when
+        #: the receiving NIC finishes dispatching them.
+        self.pool = PacketPool()
         tel = sim.telemetry
         self._tel = tel
         self._tel_probes = tel.counter("p4.probes_sent")
@@ -665,15 +692,16 @@ class CowbirdP4Engine:
         self.stats.recycled_packets += 1
         self._tel_recycled.inc()
         segment = psn_distance(op.first_psn, packet.bth.psn)
+        if complete:
+            op.channel.retire(op)
         state.data_channel.emit_write_segment(
             app_op.write_train,
             segment,
             dest_addr=app_op.metadata.resp_addr,
             dest_rkey=state.descriptor.rkey,
             payload=packet.payload,
+            recycle=packet,
         )
-        if complete:
-            op.channel.retire(op)
 
     def _convert_write_data(
         self, state: _Instance, op: _EngineOp, packet, offset: int, complete: bool
@@ -694,6 +722,7 @@ class CowbirdP4Engine:
             dest_addr=app_op.metadata.resp_addr,
             dest_rkey=rkey,
             payload=packet.payload,
+            recycle=packet,
         )
         if complete:
             op.channel.retire(op)

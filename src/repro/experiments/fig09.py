@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.experiments.faster_bench import FasterBenchResult, run_faster_bench
+from repro.experiments.sweep import SweepPoint, run_sweep
 from repro.sim.cpu import CostModel
 
 __all__ = ["SYSTEMS", "run"]
@@ -33,23 +34,42 @@ def run(
     ops_per_thread: int = 300,
     cost: Optional[CostModel] = None,
     seed: int = 9,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> list[FasterBenchResult]:
-    """Regenerate both Figure 9 panels (scaled-down)."""
+    """Regenerate both Figure 9 panels (scaled-down).
+
+    ``parallel >= 1`` routes the grid through the deterministic sweep
+    harness; ``0`` keeps the legacy inline loop.
+    """
+    grid = [
+        (value_bytes, system, threads)
+        for value_bytes in value_sizes
+        for system in systems
+        for threads in thread_counts
+    ]
+    if parallel >= 1 and cost is None:
+        points = [
+            SweepPoint("faster", dict(
+                system=system, threads=threads, value_bytes=value_bytes,
+                record_count=record_count, ops_per_thread=ops_per_thread,
+                distribution="zipfian", seed=seed,
+                pipeline_depth=128 if system.startswith("cowbird") else 64,
+            ))
+            for value_bytes, system, threads in grid
+        ]
+        return run_sweep(points, parallel=parallel, cache_dir=cache_dir)
     cost = cost or CostModel()
-    results: list[FasterBenchResult] = []
-    for value_bytes in value_sizes:
-        for system in systems:
-            for threads in thread_counts:
-                results.append(
-                    run_faster_bench(
-                        system, threads, value_bytes=value_bytes,
-                        record_count=record_count,
-                        ops_per_thread=ops_per_thread,
-                        distribution="zipfian", cost=cost, seed=seed,
-                        pipeline_depth=128 if system.startswith("cowbird") else 64,
-                    )
-                )
-    return results
+    return [
+        run_faster_bench(
+            system, threads, value_bytes=value_bytes,
+            record_count=record_count,
+            ops_per_thread=ops_per_thread,
+            distribution="zipfian", cost=cost, seed=seed,
+            pipeline_depth=128 if system.startswith("cowbird") else 64,
+        )
+        for value_bytes, system, threads in grid
+    ]
 
 
 def format_results(results: list[FasterBenchResult]) -> str:

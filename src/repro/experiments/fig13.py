@@ -20,10 +20,11 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional, Sequence
 
 from repro.experiments.common import build_microbench
+from repro.experiments.sweep import SweepPoint, run_sweep
 from repro.sim.cpu import CostModel
 from repro.sim.trace import LatencyRecorder
 
-__all__ = ["Fig13Row", "SYSTEMS", "run"]
+__all__ = ["Fig13Row", "SYSTEMS", "measure_latency_point", "run"]
 
 SYSTEMS = ("one-sided", "async", "cowbird-nb", "cowbird")
 RECORD_SIZES = (8, 64, 256, 512, 1024, 2048)
@@ -71,42 +72,73 @@ def _latency_worker(
             inflight -= len(tokens)
 
 
+def measure_latency_point(
+    system: str,
+    record_bytes: int,
+    ops: int,
+    seed: int,
+    cost: Optional[CostModel] = None,
+) -> Fig13Row:
+    """Measure one (system, record size) latency point.
+
+    Registered as the ``latency`` sweep-point kind, so every argument
+    except ``cost`` must stay JSON-serializable.
+    """
+    cost = cost or CostModel()
+    # Batching systems measure latency *with* their batching
+    # configuration (Section 8.3 keeps the Section 8.1 config).
+    depth = 100 if system in ("async", "cowbird") else 1
+    deployment = build_microbench(
+        system, 1, remote_bytes=1 << 21, cost=cost, seed=seed,
+        pipeline_depth=depth,
+    )
+    recorder = LatencyRecorder()
+    thread = deployment.compute.cpu.thread("latency-probe")
+    process = deployment.sim.spawn(
+        _latency_worker(
+            thread, deployment.backends[0], record_bytes, ops, depth, recorder,
+        )
+    )
+    deployment.sim.run_until_complete(process, deadline=120e9)
+    return Fig13Row(
+        system=system, record_bytes=record_bytes,
+        median_us=recorder.median_us(), p99_us=recorder.p99_us(),
+        samples=recorder.count,
+    )
+
+
 def run(
     record_sizes: Sequence[int] = RECORD_SIZES,
     systems: Sequence[str] = SYSTEMS,
     ops: int = 300,
     cost: Optional[CostModel] = None,
     seed: int = 13,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> list[Fig13Row]:
-    """Regenerate Figure 13: one thread, per-record-size latency."""
+    """Regenerate Figure 13: one thread, per-record-size latency.
+
+    ``parallel >= 1`` routes the grid through the deterministic sweep
+    harness; ``0`` keeps the legacy inline loop.
+    """
+    grid = [
+        (system, record_bytes)
+        for system in systems
+        for record_bytes in record_sizes
+    ]
+    if parallel >= 1 and cost is None:
+        points = [
+            SweepPoint("latency", dict(
+                system=system, record_bytes=record_bytes, ops=ops, seed=seed,
+            ))
+            for system, record_bytes in grid
+        ]
+        return run_sweep(points, parallel=parallel, cache_dir=cache_dir)
     cost = cost or CostModel()
-    rows: list[Fig13Row] = []
-    for system in systems:
-        for record_bytes in record_sizes:
-            # Batching systems measure latency *with* their batching
-            # configuration (Section 8.3 keeps the Section 8.1 config).
-            depth = 100 if system in ("async", "cowbird") else 1
-            deployment = build_microbench(
-                system, 1, remote_bytes=1 << 21, cost=cost, seed=seed,
-                pipeline_depth=depth,
-            )
-            recorder = LatencyRecorder()
-            thread = deployment.compute.cpu.thread("latency-probe")
-            process = deployment.sim.spawn(
-                _latency_worker(
-                    thread, deployment.backends[0], record_bytes, ops, depth,
-                    recorder,
-                )
-            )
-            deployment.sim.run_until_complete(process, deadline=120e9)
-            rows.append(
-                Fig13Row(
-                    system=system, record_bytes=record_bytes,
-                    median_us=recorder.median_us(), p99_us=recorder.p99_us(),
-                    samples=recorder.count,
-                )
-            )
-    return rows
+    return [
+        measure_latency_point(system, record_bytes, ops, seed, cost=cost)
+        for system, record_bytes in grid
+    ]
 
 
 def format_rows(rows: list[Fig13Row]) -> str:

@@ -31,6 +31,7 @@ from repro.rdma.packets import (
     Aeth,
     Bth,
     Opcode,
+    Reth,
     RocePacket,
     SYNDROME_ACK,
     SYNDROME_NAK_PSN_ERROR,
@@ -120,6 +121,17 @@ class RNIC:
         self._recv_queues: dict[int, deque[WorkRequest]] = {}
         self._write_contexts: dict[int, _WriteContext] = {}
         self._timer_armed: set[int] = set()
+        #: Per-QP timeout callbacks, created once so re-arming a timer
+        #: allocates nothing.
+        self._timer_callbacks: dict[int, Callable[[], None]] = {}
+        # Pending FIFOs for the two per-packet scheduling points.  Both
+        # delays are constant per NIC (processing delay) or monotonic
+        # (send slots), so a deque paired with one cached callback
+        # replaces a fresh closure per packet without reordering.
+        self._rx_pending: deque[RocePacket] = deque()
+        self._initiate_pending: deque[tuple[QueuePair, WorkRequest]] = deque()
+        self._dispatch_next_callback = self._dispatch_next
+        self._initiate_next_callback = self._initiate_next
         #: Taps invoked on every delivered (non-dropped) packet, in
         #: attach order.  Use :meth:`add_rx_hook` to chain; the
         #: ``rx_hook`` property remains for legacy single-tap callers.
@@ -189,7 +201,8 @@ class RNIC:
             return
         self._tel_doorbells.inc()
         delay = self._reserve_send_slot()
-        self.sim.call_after(delay, lambda: self._initiate(qp, wr))
+        self._initiate_pending.append((qp, wr))
+        self.sim.call_after(delay, self._initiate_next_callback)
 
     def _reserve_send_slot(self) -> float:
         """Serialize message initiations at the NIC's message rate."""
@@ -197,6 +210,10 @@ class RNIC:
         slot = max(now, self._next_send_slot)
         self._next_send_slot = slot + self.config.message_gap_ns
         return slot - now
+
+    def _initiate_next(self) -> None:
+        qp, wr = self._initiate_pending.popleft()
+        self._initiate(qp, wr)
 
     def _initiate(self, qp: QueuePair, wr: WorkRequest) -> None:
         self.stats.messages_initiated += 1
@@ -225,8 +242,6 @@ class RNIC:
         self._emit_read_request(qp, entry)
 
     def _emit_read_request(self, qp: QueuePair, entry: _Outstanding) -> None:
-        from repro.rdma.packets import Reth  # local import to avoid cycle noise
-
         packet = RocePacket(
             src=self.node,
             dst=qp.remote_node,
@@ -258,8 +273,6 @@ class RNIC:
         self._emit_write_train(qp, entry)
 
     def _emit_write_train(self, qp: QueuePair, entry: _Outstanding) -> None:
-        from repro.rdma.packets import Reth
-
         wr = entry.wr
         payload = self._dma_read_local(wr.local_addr, wr.length)
         mtu = self.config.mtu_bytes
@@ -350,28 +363,37 @@ class RNIC:
         self.stats.bytes_in += packet.size_bytes
         self._tel_rx_packets.inc()
         self._tel_rx_bytes.inc(packet.size_bytes)
+        self._rx_pending.append(packet)
         self.sim.call_after(
-            self.config.processing_delay_ns, lambda: self._dispatch(packet)
+            self.config.processing_delay_ns, self._dispatch_next_callback
         )
 
+    def _dispatch_next(self) -> None:
+        self._dispatch(self._rx_pending.popleft())
+
     def _dispatch(self, packet: RocePacket) -> None:
-        for hook in self._rx_hooks:
-            hook(packet)
-        qp = self._qps.get(packet.bth.dest_qp)
-        if qp is None:
-            return  # no such QP: real HCAs silently drop
-        qp.packets_received += 1
-        opcode = packet.opcode
-        if opcode is Opcode.RC_RDMA_READ_REQUEST:
-            self._respond_read(qp, packet)
-        elif opcode.is_write:
-            self._respond_write(qp, packet)
-        elif opcode is Opcode.RC_SEND_ONLY:
-            self._respond_send(qp, packet)
-        elif opcode.is_read_response:
-            self._requester_read_response(qp, packet)
-        elif opcode is Opcode.RC_ACKNOWLEDGE:
-            self._requester_ack(qp, packet)
+        try:
+            for hook in self._rx_hooks:
+                hook(packet)
+            qp = self._qps.get(packet.bth.dest_qp)
+            if qp is None:
+                return  # no such QP: real HCAs silently drop
+            qp.packets_received += 1
+            opcode = packet.opcode
+            if opcode is Opcode.RC_RDMA_READ_REQUEST:
+                self._respond_read(qp, packet)
+            elif opcode.is_write:
+                self._respond_write(qp, packet)
+            elif opcode is Opcode.RC_SEND_ONLY:
+                self._respond_send(qp, packet)
+            elif opcode.is_read_response:
+                self._requester_read_response(qp, packet)
+            elif opcode is Opcode.RC_ACKNOWLEDGE:
+                self._requester_ack(qp, packet)
+        finally:
+            # The NIC is the terminal consumer of every delivered packet;
+            # pool-allocated shells go back to their free-list here.
+            packet.release()
 
     # -- responder side -------------------------------------------------
     def _psn_status(self, qp: QueuePair, psn: int) -> str:
@@ -628,9 +650,12 @@ class RNIC:
         if qp.qpn in self._timer_armed:
             return
         self._timer_armed.add(qp.qpn)
-        self.sim.call_after(
-            self.config.retransmit_timeout_ns, lambda: self._check_timeout(qp)
-        )
+        callback = self._timer_callbacks.get(qp.qpn)
+        if callback is None:
+            def callback(qp: QueuePair = qp) -> None:
+                self._check_timeout(qp)
+            self._timer_callbacks[qp.qpn] = callback
+        self.sim.call_after(self.config.retransmit_timeout_ns, callback)
 
     def _check_timeout(self, qp: QueuePair) -> None:
         self._timer_armed.discard(qp.qpn)

@@ -11,14 +11,28 @@ resulting byte layout.
 
 Like the paper's prototype (footnote 1), we do not compute real ICRCs —
 programmable switches cannot — and carry a placeholder trailer instead.
+
+Hot-path design notes:
+
+* All ``struct`` formats are compiled once at module level.
+* :meth:`RocePacket.unpack` parses the BTH eagerly (every consumer needs
+  the opcode/PSN) but leaves RETH/AETH as lazy properties backed by a
+  ``memoryview`` of the wire bytes, and exposes the payload as a
+  zero-copy ``memoryview`` slice.
+* :meth:`RocePacket.recycle` is the switch primitive — strip one header,
+  prepend another — as an in-place header rewrite that never touches
+  the payload.
+* :class:`PacketPool` is a small free-list of packet shells so that the
+  P4 engine's steady-state probe/execute loop allocates no new packet
+  objects.
 """
 
 from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Optional, Union
 
 from repro.sim.network import PRIORITY_NORMAL
 
@@ -28,6 +42,7 @@ __all__ = [
     "Bth",
     "HEADER_OVERHEAD_BYTES",
     "Opcode",
+    "PacketPool",
     "PSN_MODULUS",
     "Reth",
     "RocePacket",
@@ -61,6 +76,21 @@ PSN_MODULUS = 1 << 24
 SYNDROME_ACK = 0x1F
 #: AETH syndrome for a NAK / PSN sequence error (triggers Go-Back-N).
 SYNDROME_NAK_PSN_ERROR = 0x60
+
+# Precompiled wire formats — compiled once, shared by every pack/unpack.
+_BTH_STRUCT = struct.Struct(">BBHII")
+_RETH_STRUCT = struct.Struct(">QII")
+_AETH_STRUCT = struct.Struct(">I")
+_IPV4_STRUCT = struct.Struct(">BBHHHBBHII")
+_UDP_STRUCT = struct.Struct(">HHHH")
+_U16_STRUCT = struct.Struct(">H")
+_U32_STRUCT = struct.Struct(">I")
+_ETHERTYPE_IPV4_BYTES = _U16_STRUCT.pack(ETHERTYPE_IPV4)
+_ICRC_PLACEHOLDER = b"\x00" * ICRC_BYTES
+
+#: Offset of the first extension header (RETH or AETH) in the wire image.
+#: RETH and AETH never appear together, so the offset is a constant.
+_EXT_OFFSET = ETH_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES + BTH_BYTES
 
 
 def psn_add(psn: int, delta: int) -> int:
@@ -169,8 +199,7 @@ class Bth:
             raise ValueError(f"psn out of 24-bit range: {self.psn}")
         flags = 0x80 if self.solicited else 0x00
         ack_psn = (0x8000_0000 if self.ack_request else 0) | self.psn
-        return struct.pack(
-            ">BBHI I",
+        return _BTH_STRUCT.pack(
             int(self.opcode),
             flags,
             self.partition_key,
@@ -179,8 +208,8 @@ class Bth:
         )
 
     @classmethod
-    def unpack(cls, data: bytes) -> "Bth":
-        opcode, flags, pkey, dqp_word, ack_psn = struct.unpack(">BBHI I", data[:BTH_BYTES])
+    def unpack(cls, data: Union[bytes, memoryview]) -> "Bth":
+        opcode, flags, pkey, dqp_word, ack_psn = _BTH_STRUCT.unpack(data[:BTH_BYTES])
         return cls(
             opcode=Opcode(opcode),
             dest_qp=dqp_word & 0xFF_FFFF,
@@ -204,13 +233,13 @@ class Reth:
             raise ValueError(f"virtual address out of range: {self.virtual_address}")
         if not 0 <= self.dma_length < (1 << 32):
             raise ValueError(f"dma_length out of range: {self.dma_length}")
-        return struct.pack(
-            ">QII", self.virtual_address, self.remote_key & 0xFFFF_FFFF, self.dma_length
+        return _RETH_STRUCT.pack(
+            self.virtual_address, self.remote_key & 0xFFFF_FFFF, self.dma_length
         )
 
     @classmethod
-    def unpack(cls, data: bytes) -> "Reth":
-        vaddr, rkey, length = struct.unpack(">QII", data[:RETH_BYTES])
+    def unpack(cls, data: Union[bytes, memoryview]) -> "Reth":
+        vaddr, rkey, length = _RETH_STRUCT.unpack(data[:RETH_BYTES])
         return cls(virtual_address=vaddr, remote_key=rkey, dma_length=length)
 
 
@@ -224,11 +253,11 @@ class Aeth:
     def pack(self) -> bytes:
         if not 0 <= self.msn < (1 << 24):
             raise ValueError(f"msn out of 24-bit range: {self.msn}")
-        return struct.pack(">I", ((self.syndrome & 0xFF) << 24) | self.msn)
+        return _AETH_STRUCT.pack(((self.syndrome & 0xFF) << 24) | self.msn)
 
     @classmethod
-    def unpack(cls, data: bytes) -> "Aeth":
-        word, = struct.unpack(">I", data[:AETH_BYTES])
+    def unpack(cls, data: Union[bytes, memoryview]) -> "Aeth":
+        word, = _AETH_STRUCT.unpack(data[:AETH_BYTES])
         return cls(syndrome=(word >> 24) & 0xFF, msn=word & 0xFF_FFFF)
 
     @property
@@ -267,42 +296,59 @@ class AddressBook:
             raise KeyError(f"unknown IP {ip:#010x}") from None
 
     def mac_of(self, name: str) -> bytes:
-        return b"\x02\x00" + struct.pack(">I", self.ip_of(name))
+        return b"\x02\x00" + _U32_STRUCT.pack(self.ip_of(name))
 
 
 #: Module-default address book (tests may supply their own).
 DEFAULT_ADDRESS_BOOK = AddressBook()
 
 
-@dataclass
 class RocePacket:
     """A complete RoCEv2 packet: addressing, transport headers, payload.
 
     Satisfies the network layer's Packet protocol (``src``/``dst``/
     ``size_bytes``/``priority``) while carrying real header objects the
     Cowbird-P4 pipeline rewrites.
+
+    Direct construction validates the header/opcode combination.
+    :meth:`unpack` skips validation (the wire image is well-formed by
+    construction) and defers RETH/AETH parsing until the ``reth``/
+    ``aeth`` properties are first read; its ``payload`` is a zero-copy
+    ``memoryview`` of the input buffer.
     """
 
-    src: str
-    dst: str
-    bth: Bth
-    reth: Optional[Reth] = None
-    aeth: Optional[Aeth] = None
-    payload: bytes = b""
-    priority: int = PRIORITY_NORMAL
+    __slots__ = ("src", "dst", "bth", "payload", "priority", "_reth", "_aeth", "_wire", "_pool")
 
-    def __post_init__(self) -> None:
-        opcode = self.bth.opcode
-        if opcode.carries_reth and self.reth is None:
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        bth: Bth,
+        reth: Optional[Reth] = None,
+        aeth: Optional[Aeth] = None,
+        payload: Union[bytes, memoryview] = b"",
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        opcode = bth.opcode
+        if opcode.carries_reth and reth is None:
             raise ValueError(f"{opcode.name} requires a RETH header")
-        if not opcode.carries_reth and self.reth is not None:
+        if not opcode.carries_reth and reth is not None:
             raise ValueError(f"{opcode.name} must not carry a RETH header")
-        if opcode.carries_aeth and self.aeth is None:
+        if opcode.carries_aeth and aeth is None:
             raise ValueError(f"{opcode.name} requires an AETH header")
-        if opcode is Opcode.RC_ACKNOWLEDGE and self.payload:
+        if opcode is Opcode.RC_ACKNOWLEDGE and payload:
             raise ValueError("ACK packets carry no payload")
-        if opcode is Opcode.RC_RDMA_READ_REQUEST and self.payload:
+        if opcode is Opcode.RC_RDMA_READ_REQUEST and payload:
             raise ValueError("READ request packets carry no payload")
+        self.src = src
+        self.dst = dst
+        self.bth = bth
+        self.payload = payload
+        self.priority = priority
+        self._reth = reth
+        self._aeth = aeth
+        self._wire: Optional[memoryview] = None
+        self._pool: Optional["PacketPool"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -310,13 +356,90 @@ class RocePacket:
         return self.bth.opcode
 
     @property
+    def reth(self) -> Optional[Reth]:
+        reth = self._reth
+        if reth is None and self._wire is not None and self.bth.opcode.carries_reth:
+            reth = self._reth = Reth.unpack(self._wire[_EXT_OFFSET:])
+        return reth
+
+    @reth.setter
+    def reth(self, value: Optional[Reth]) -> None:
+        self._reth = value
+
+    @property
+    def aeth(self) -> Optional[Aeth]:
+        aeth = self._aeth
+        if aeth is None and self._wire is not None and self.bth.opcode.carries_aeth:
+            aeth = self._aeth = Aeth.unpack(self._wire[_EXT_OFFSET:])
+        return aeth
+
+    @aeth.setter
+    def aeth(self, value: Optional[Aeth]) -> None:
+        self._aeth = value
+
+    @property
     def size_bytes(self) -> int:
+        opcode = self.bth.opcode
         size = HEADER_OVERHEAD_BYTES + len(self.payload)
-        if self.reth is not None:
+        if opcode.carries_reth:
             size += RETH_BYTES
-        if self.aeth is not None:
+        if opcode.carries_aeth:
             size += AETH_BYTES
         return size
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, RocePacket):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.bth == other.bth
+            and self.reth == other.reth
+            and self.aeth == other.aeth
+            and bytes(self.payload) == bytes(other.payload)
+            and self.priority == other.priority
+        )
+
+    __hash__ = None  # type: ignore[assignment] - mutable, like a dataclass with eq
+
+    # ------------------------------------------------------------------
+    def recycle(
+        self,
+        src: str,
+        dst: str,
+        opcode: Opcode,
+        dest_qp: int,
+        psn: int,
+        ack_request: bool = False,
+        reth: Optional[Reth] = None,
+        aeth: Optional[Aeth] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> "RocePacket":
+        """In-place header rewrite — the switch recycling primitive.
+
+        Strips the old extension header, rewrites the BTH and addressing,
+        and prepends the new extension header, leaving the payload bytes
+        untouched (the data plane never parses payloads; they exceed the
+        PHV).  Returns ``self`` for chaining into ``switch.inject``.
+        """
+        bth = self.bth
+        bth.opcode = opcode
+        bth.dest_qp = dest_qp
+        bth.psn = psn
+        bth.ack_request = ack_request
+        self.src = src
+        self.dst = dst
+        self._reth = reth
+        self._aeth = aeth
+        self._wire = None
+        self.priority = priority
+        return self
+
+    def release(self) -> None:
+        """Return this packet to its free-list, if it came from one."""
+        pool = self._pool
+        if pool is not None:
+            pool.release(self)
 
     # ------------------------------------------------------------------
     def pack(self, book: Optional[AddressBook] = None) -> bytes:
@@ -325,12 +448,11 @@ class RocePacket:
         parts: list[bytes] = []
         # Ethernet
         parts.append(book.mac_of(self.dst) + book.mac_of(self.src))
-        parts.append(struct.pack(">H", ETHERTYPE_IPV4))
+        parts.append(_ETHERTYPE_IPV4_BYTES)
         # IPv4 (minimal, no options): total length filled in below.
         transport_len = self.size_bytes - ETH_HEADER_BYTES - IPV4_HEADER_BYTES
         parts.append(
-            struct.pack(
-                ">BBHHHBBHII",
+            _IPV4_STRUCT.pack(
                 0x45,  # version 4, IHL 5
                 0,  # DSCP/ECN
                 IPV4_HEADER_BYTES + transport_len,
@@ -345,47 +467,123 @@ class RocePacket:
         )
         # UDP
         udp_len = transport_len
-        parts.append(struct.pack(">HHHH", ROCE_UDP_PORT, ROCE_UDP_PORT, udp_len, 0))
+        parts.append(_UDP_STRUCT.pack(ROCE_UDP_PORT, ROCE_UDP_PORT, udp_len, 0))
         # IB transport
         parts.append(self.bth.pack())
-        if self.reth is not None:
-            parts.append(self.reth.pack())
-        if self.aeth is not None:
-            parts.append(self.aeth.pack())
-        parts.append(self.payload)
-        parts.append(b"\x00" * ICRC_BYTES)  # placeholder ICRC (footnote 1)
+        reth = self.reth
+        if reth is not None:
+            parts.append(reth.pack())
+        aeth = self.aeth
+        if aeth is not None:
+            parts.append(aeth.pack())
+        parts.append(bytes(self.payload))
+        parts.append(_ICRC_PLACEHOLDER)  # placeholder ICRC (footnote 1)
         wire = b"".join(parts)
         assert len(wire) == self.size_bytes, (len(wire), self.size_bytes)
         return wire
 
     @classmethod
-    def unpack(cls, data: bytes, book: Optional[AddressBook] = None) -> "RocePacket":
+    def unpack(
+        cls, data: Union[bytes, memoryview], book: Optional[AddressBook] = None
+    ) -> "RocePacket":
         book = book or DEFAULT_ADDRESS_BOOK
         if len(data) < HEADER_OVERHEAD_BYTES:
             raise ValueError(f"packet too short: {len(data)} bytes")
+        view = memoryview(data)
         offset = ETH_HEADER_BYTES
-        ip_fields = struct.unpack(">BBHHHBBHII", data[offset : offset + IPV4_HEADER_BYTES])
+        ip_fields = _IPV4_STRUCT.unpack(view[offset : offset + IPV4_HEADER_BYTES])
         src = book.name_of(ip_fields[8])
         dst = book.name_of(ip_fields[9])
         offset += IPV4_HEADER_BYTES
-        dst_port = struct.unpack(">HHHH", data[offset : offset + UDP_HEADER_BYTES])[1]
+        dst_port = _UDP_STRUCT.unpack(view[offset : offset + UDP_HEADER_BYTES])[1]
         if dst_port != ROCE_UDP_PORT:
             raise ValueError(f"not a RoCEv2 packet (UDP port {dst_port})")
         offset += UDP_HEADER_BYTES
-        bth = Bth.unpack(data[offset : offset + BTH_BYTES])
+        bth = Bth.unpack(view[offset : offset + BTH_BYTES])
         offset += BTH_BYTES
-        reth = aeth = None
-        if bth.opcode.carries_reth:
-            reth = Reth.unpack(data[offset : offset + RETH_BYTES])
+        # RETH/AETH stay unparsed in the wire view; the reth/aeth
+        # properties decode them on demand.
+        opcode = bth.opcode
+        if opcode.carries_reth:
             offset += RETH_BYTES
-        if bth.opcode.carries_aeth:
-            aeth = Aeth.unpack(data[offset : offset + AETH_BYTES])
+        if opcode.carries_aeth:
             offset += AETH_BYTES
-        payload = data[offset : len(data) - ICRC_BYTES]
-        return cls(src=src, dst=dst, bth=bth, reth=reth, aeth=aeth, payload=payload)
+        packet = object.__new__(cls)
+        packet.src = src
+        packet.dst = dst
+        packet.bth = bth
+        packet.payload = view[offset : len(data) - ICRC_BYTES]
+        packet.priority = PRIORITY_NORMAL
+        packet._reth = None
+        packet._aeth = None
+        packet._wire = view
+        packet._pool = None
+        return packet
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RocePacket({self.opcode.name}, {self.src}->{self.dst}, "
             f"qp={self.bth.dest_qp}, psn={self.bth.psn}, {len(self.payload)}B)"
         )
+
+
+class PacketPool:
+    """A bounded free-list of :class:`RocePacket` shells.
+
+    ``acquire`` hands back a recycled shell when one is available (the
+    steady-state case) and falls back to normal construction otherwise.
+    Validation is skipped on the recycled path — every acquire site in
+    the engine builds a well-formed header combination, and the direct
+    constructor still validates for everyone else.  Payload and wire
+    references are dropped at release so buffers do not outlive their
+    packet.
+    """
+
+    __slots__ = ("_free", "maxsize")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self._free: list[RocePacket] = []
+        self.maxsize = maxsize
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self,
+        src: str,
+        dst: str,
+        bth: Bth,
+        reth: Optional[Reth] = None,
+        aeth: Optional[Aeth] = None,
+        payload: Union[bytes, memoryview] = b"",
+        priority: int = PRIORITY_NORMAL,
+    ) -> RocePacket:
+        free = self._free
+        if free:
+            packet = free.pop()
+            packet.src = src
+            packet.dst = dst
+            packet.bth = bth
+            packet.payload = payload
+            packet.priority = priority
+            packet._reth = reth
+            packet._aeth = aeth
+            packet._wire = None
+        else:
+            packet = RocePacket(
+                src, dst, bth, reth=reth, aeth=aeth, payload=payload,
+                priority=priority,
+            )
+        packet._pool = self
+        return packet
+
+    def release(self, packet: RocePacket) -> None:
+        if packet._pool is not self:
+            return  # not ours (or already released): ignore
+        packet._pool = None
+        packet.payload = b""
+        packet._wire = None
+        packet._reth = None
+        packet._aeth = None
+        if len(self._free) < self.maxsize:
+            self._free.append(packet)

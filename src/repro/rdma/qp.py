@@ -45,7 +45,7 @@ class CompletionStatus(enum.Enum):
 _wr_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkRequest:
     """One posted operation (the WQE the doorbell announces).
 
@@ -71,7 +71,7 @@ class WorkRequest:
             raise ValueError(f"negative length: {self.length}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """A completion-queue entry (CQE)."""
 
@@ -134,7 +134,7 @@ class CompletionQueue:
         return len(self._entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """Requester-side tracking of one in-flight work request."""
 

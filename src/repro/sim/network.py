@@ -174,6 +174,13 @@ class Link:
         self.stats = LinkStats()
         self._queues: list[deque[Packet]] = [deque() for _ in range(num_priorities)]
         self._busy = False
+        # One packet serializes at a time and propagation delay is a
+        # per-link constant, so both completion points are FIFO: a deque
+        # plus one cached callback replaces a closure per packet.
+        self._serializing: deque[Packet] = deque()
+        self._propagating: deque[Packet] = deque()
+        self._on_serialized_callback = self._on_serialized_next
+        self._deliver_callback = self._deliver_next
         tel = sim.telemetry
         self._tel = tel
         self._tel_tx_packets = tel.counter(f"link.{name}.tx_packets")
@@ -221,9 +228,11 @@ class Link:
                 size_bytes=packet.size_bytes, priority=packet.priority,
                 dst=packet.dst,
             )
-        self.sim.call_after(serialization, lambda: self._on_serialized(packet))
+        self._serializing.append(packet)
+        self.sim.call_after(serialization, self._on_serialized_callback)
 
-    def _on_serialized(self, packet: Packet) -> None:
+    def _on_serialized_next(self) -> None:
+        packet = self._serializing.popleft()
         if self.fault_injector is not None and self.fault_injector.should_drop(packet):
             self.stats.packets_dropped += 1
             self._tel_drops.inc()
@@ -231,11 +240,12 @@ class Link:
             self.stats.record(packet)
             self._tel_tx_packets.inc()
             self._tel_tx_bytes.inc(packet.size_bytes)
-            self.sim.call_after(
-                self.propagation_delay_ns,
-                lambda: self.endpoint.receive(packet, self),
-            )
+            self._propagating.append(packet)
+            self.sim.call_after(self.propagation_delay_ns, self._deliver_callback)
         self._transmit_next()
+
+    def _deliver_next(self) -> None:
+        self.endpoint.receive(self._propagating.popleft(), self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name!r}, {self.bandwidth_gbps} Gb/s)"
@@ -302,6 +312,10 @@ class Switch:
         self.packets_consumed = 0
         self.packets_generated = 0
         self.packets_unroutable = 0
+        # Forward delay is constant, so pending (egress, packet) pairs
+        # drain FIFO through one cached callback.
+        self._forward_pending: deque[tuple[Link, Packet]] = deque()
+        self._forward_callback = self._forward_next
         tel = sim.telemetry
         self._tel_forwarded = tel.counter(f"switch.{name}.forwarded")
         self._tel_consumed = tel.counter(f"switch.{name}.consumed")
@@ -331,7 +345,7 @@ class Switch:
                 self.packets_consumed += 1
                 self._tel_consumed.inc()
                 return
-            if outputs != [packet]:
+            if len(outputs) != 1 or outputs[0] is not packet:
                 self.packets_generated += len(outputs)
                 self._tel_generated.inc(len(outputs))
             for out in outputs:
@@ -353,7 +367,12 @@ class Switch:
             return
         self.packets_forwarded += 1
         self._tel_forwarded.inc()
-        self.sim.call_after(self.forward_delay_ns, lambda: egress.send(packet))
+        self._forward_pending.append((egress, packet))
+        self.sim.call_after(self.forward_delay_ns, self._forward_callback)
+
+    def _forward_next(self) -> None:
+        egress, packet = self._forward_pending.popleft()
+        egress.send(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Switch({self.name!r}, ports={sorted(self._ports)})"

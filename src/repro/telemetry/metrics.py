@@ -224,6 +224,35 @@ class MetricsRegistry:
         return instrument
 
     # ------------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, histograms combine bucket-by-bucket, and gauges
+        replay (max first, then last value) so that merging per-worker
+        snapshots *in submission order* reproduces exactly the state a
+        single shared registry would have reached.  This is what makes
+        parallel sweep runs byte-identical to serial ones.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, dict) and "bucket_counts" in value:
+                hist = self.histogram(name, value["bounds"])
+                if list(hist.bounds) != [float(b) for b in value["bounds"]]:
+                    raise ValueError(
+                        f"histogram {name!r}: mismatched bounds in merge"
+                    )
+                for i, count in enumerate(value["bucket_counts"]):
+                    hist.bucket_counts[i] += count
+                hist.count += value["count"]
+                hist.sum += value["sum"]
+                if value["max"] > hist.max:
+                    hist.max = value["max"]
+            elif isinstance(value, dict):
+                gauge = self.gauge(name)
+                gauge.set(value["max"])
+                gauge.set(value["value"])
+            else:
+                self.counter(name).inc(value)
+
     def names(self, prefix: str = "") -> list[str]:
         return sorted(n for n in self._instruments if n.startswith(prefix))
 

@@ -9,6 +9,7 @@ from repro.rdma.packets import (
     HEADER_OVERHEAD_BYTES,
     Opcode,
     PSN_MODULUS,
+    PacketPool,
     READ_RESPONSE_TO_WRITE,
     Reth,
     RocePacket,
@@ -252,3 +253,152 @@ class TestAddressBook:
         mac = book.mac_of("x")
         assert len(mac) == 6
         assert mac[:2] == b"\x02\x00"  # locally administered
+
+
+class TestZeroCopyUnpack:
+    """The memoryview fast path: unpack slices, it does not copy."""
+
+    def make_response(self, payload=bytes(range(200))):
+        return RocePacket(
+            src="pool", dst="compute",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_RESPONSE_ONLY, dest_qp=5, psn=9),
+            aeth=Aeth(syndrome=SYNDROME_ACK, msn=1),
+            payload=payload,
+        )
+
+    def test_unpacked_payload_is_memoryview_slice(self):
+        book = AddressBook()
+        restored = RocePacket.unpack(self.make_response().pack(book), book)
+        assert isinstance(restored.payload, memoryview)
+        assert bytes(restored.payload) == bytes(range(200))
+
+    def test_extension_headers_parse_lazily(self):
+        book = AddressBook()
+        restored = RocePacket.unpack(self.make_response().pack(book), book)
+        assert restored._aeth is None  # not parsed yet
+        assert restored.aeth == Aeth(syndrome=SYNDROME_ACK, msn=1)
+        assert restored._aeth is not None  # cached after first access
+
+    def test_repack_after_unpack_round_trips(self):
+        book = AddressBook()
+        wire = self.make_response().pack(book)
+        assert RocePacket.unpack(wire, book).pack(book) == wire
+
+    def test_size_bytes_correct_without_parsing_extensions(self):
+        book = AddressBook()
+        original = self.make_response()
+        restored = RocePacket.unpack(original.pack(book), book)
+        assert restored.size_bytes == original.size_bytes
+        assert restored._aeth is None  # size never forced a parse
+
+
+class TestRecycle:
+    """In-place read-response -> write conversion (the P4 primitive)."""
+
+    def recycled_write(self, payload=bytes(range(64))):
+        book = AddressBook()
+        response = RocePacket(
+            src="pool", dst="compute",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_RESPONSE_ONLY, dest_qp=5, psn=9),
+            aeth=Aeth(syndrome=SYNDROME_ACK, msn=1),
+            payload=payload,
+        )
+        arriving = RocePacket.unpack(response.pack(book), book)
+        reth = Reth(virtual_address=0x1000, remote_key=0x77, dma_length=len(payload))
+        arriving.recycle(
+            src="switch", dst="pool",
+            opcode=Opcode.RC_RDMA_WRITE_ONLY, dest_qp=3, psn=100,
+            ack_request=True, reth=reth,
+        )
+        return arriving, reth, book
+
+    def test_recycle_matches_fresh_packet_bytes(self):
+        recycled, reth, book = self.recycled_write()
+        fresh = RocePacket(
+            src="switch", dst="pool",
+            bth=Bth(opcode=Opcode.RC_RDMA_WRITE_ONLY, dest_qp=3, psn=100,
+                    ack_request=True),
+            reth=reth,
+            payload=bytes(range(64)),
+        )
+        assert recycled.pack(book) == fresh.pack(book)
+        assert recycled == fresh
+
+    def test_recycle_leaves_payload_view_untouched(self):
+        recycled, _reth, _book = self.recycled_write()
+        assert isinstance(recycled.payload, memoryview)
+        assert bytes(recycled.payload) == bytes(range(64))
+
+    def test_recycle_round_trips_through_wire(self):
+        recycled, reth, book = self.recycled_write()
+        restored = RocePacket.unpack(recycled.pack(book), book)
+        assert restored.bth == recycled.bth
+        assert restored.reth == reth
+        assert restored.payload == bytes(range(64))
+
+
+class TestPacketPool:
+    def make_request(self, pool):
+        return pool.acquire(
+            src="switch", dst="pool",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_REQUEST, dest_qp=7, psn=42),
+            reth=Reth(virtual_address=0x4000, remote_key=0x8, dma_length=256),
+        )
+
+    def test_release_then_acquire_reuses_shell(self):
+        pool = PacketPool()
+        first = self.make_request(pool)
+        first.release()
+        assert len(pool) == 1
+        second = self.make_request(pool)
+        assert second is first  # the shell came off the free-list
+        assert len(pool) == 0
+
+    def test_release_clears_buffers(self):
+        pool = PacketPool()
+        packet = pool.acquire(
+            src="a", dst="b",
+            bth=Bth(opcode=Opcode.RC_RDMA_WRITE_ONLY, dest_qp=1, psn=0),
+            reth=Reth(virtual_address=0, remote_key=0, dma_length=4),
+            payload=b"data",
+        )
+        packet.release()
+        assert packet.payload == b""
+        assert packet._wire is None
+
+    def test_double_release_is_idempotent(self):
+        pool = PacketPool()
+        packet = self.make_request(pool)
+        packet.release()
+        packet.release()
+        assert len(pool) == 1
+
+    def test_foreign_packet_release_ignored(self):
+        pool = PacketPool()
+        outsider = RocePacket(
+            src="a", dst="b",
+            bth=Bth(opcode=Opcode.RC_ACKNOWLEDGE, dest_qp=1, psn=0),
+            aeth=Aeth(syndrome=SYNDROME_ACK, msn=0),
+        )
+        outsider.release()  # no pool: no-op
+        pool.release(outsider)  # not ours: ignored
+        assert len(pool) == 0
+
+    def test_maxsize_bounds_free_list(self):
+        pool = PacketPool(maxsize=2)
+        packets = [self.make_request(pool) for _ in range(4)]
+        for packet in packets:
+            packet.release()
+        assert len(pool) == 2
+
+    def test_acquired_shell_packs_like_fresh(self):
+        book = AddressBook()
+        pool = PacketPool()
+        self.make_request(pool).release()
+        reused = self.make_request(pool)
+        fresh = RocePacket(
+            src="switch", dst="pool",
+            bth=Bth(opcode=Opcode.RC_RDMA_READ_REQUEST, dest_qp=7, psn=42),
+            reth=Reth(virtual_address=0x4000, remote_key=0x8, dma_length=256),
+        )
+        assert reused.pack(book) == fresh.pack(book)

@@ -400,7 +400,9 @@ class TestCli:
         entry = meta["experiments"]["fig01"]
         assert entry["seed"] == 1
         assert entry["sim_duration_ns"] > 0
-        assert entry["wall_clock_s"] >= 0
+        # wall-clock stays on stdout only: keeping it out of the dump is
+        # what makes serial and parallel runs byte-identical.
+        assert "wall_clock_s" not in entry
         assert entry["total_ops"] > 0
 
     def test_metrics_subcommand(self, capsys):
