@@ -22,7 +22,7 @@ Public API tour
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.sim import CPU, CostModel, Simulator
 

@@ -366,21 +366,32 @@ class CowbirdBackend(Backend):
     name = "cowbird"
 
     def __init__(self, instance: CowbirdInstance, region_id: int = 0,
-                 pending_limit: int = 256):
+                 pending_limit: int = 256, sharded=None):
         self.instance = instance
         self.region_id = region_id
         self.pending_limit = pending_limit
+        #: Optional ShardedRegionHandle: logical offsets are then routed
+        #: to the owning shard's region_id (block striping).
+        self.sharded = sharded
         self.poll_id = instance.poll_create()
         self._outstanding = 0
 
     def outstanding(self) -> int:
         return self._outstanding
 
+    def _route(self, offset: int, length: int) -> tuple[int, int]:
+        """Map a logical offset to ``(region_id, region-local offset)``."""
+        if self.sharded is None:
+            return self.region_id, offset
+        shard, local = self.sharded.locate(offset, length)
+        return shard.region_id, local
+
     def issue_read(self, thread, offset, length):
+        region_id, offset = self._route(offset, length)
         while True:
             try:
                 request_id = yield from self.instance.async_read(
-                    thread, self.region_id, offset, length
+                    thread, region_id, offset, length
                 )
                 break
             except BufferFullError:
@@ -391,10 +402,11 @@ class CowbirdBackend(Backend):
         return request_id
 
     def issue_write(self, thread, offset, data):
+        region_id, offset = self._route(offset, len(data))
         while True:
             try:
                 request_id = yield from self.instance.async_write(
-                    thread, self.region_id, offset, data
+                    thread, region_id, offset, data
                 )
                 break
             except BufferFullError:

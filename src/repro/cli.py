@@ -9,6 +9,8 @@ Usage::
     python -m repro run fig01 --trace trace.json --metrics
     python -m repro metrics fig01 --prefix nic.
     python -m repro run all
+    python -m repro run scenario examples/scenarios/fig08_point.toml
+    python -m repro run scenario examples/scenarios/*.toml --validate-only
 
 Each experiment prints the same rows/series the paper reports; ``--json``
 additionally dumps the raw records (plus a ``meta`` block with seeds,
@@ -23,6 +25,10 @@ carries its own seed, results merge in submission order, and the JSON
 output is byte-identical for any ``N`` (pinned by ``tests/test_sweep.py``).
 Points are cached on disk in ``.repro_cache/`` keyed by (repro version,
 point config); ``--no-cache`` bypasses the cache.
+
+``run scenario FILE...`` loads declarative deployment descriptions
+(JSON/TOML, see ``repro.cluster``) and runs the microbenchmark workload
+they describe; ``--validate-only`` stops after schema validation.
 """
 
 from __future__ import annotations
@@ -188,6 +194,47 @@ def _format_snapshot(snapshot: dict, prefix: str = "") -> str:
     return "\n".join(lines) if lines else "  (no metrics recorded)"
 
 
+def _run_scenarios(args) -> int:
+    """``repro run scenario FILE...`` — validate and (optionally) run."""
+    from repro.cluster import ScenarioError, load_scenario
+    from repro.cluster.scenario import run_scenario
+
+    if not args.paths:
+        print("run scenario: at least one scenario file is required",
+              file=sys.stderr)
+        return 2
+    dump: dict[str, Any] = {}
+    for path in args.paths:
+        try:
+            spec = load_scenario(path)
+            spec.validate()
+        except (ScenarioError, OSError) as exc:
+            print(f"INVALID {path}: {exc}", file=sys.stderr)
+            return 1
+        if args.validate_only:
+            print(f"OK {path}: scenario {spec.name!r} "
+                  f"(system={spec.system}, shards={spec.pool.shards}, "
+                  f"threads={spec.workload.threads})")
+            continue
+        print(f"== scenario {spec.name} ({path})")
+        started = time.time()
+        result = run_scenario(spec)
+        elapsed = time.time() - started
+        print(f"   system={spec.system} threads={spec.workload.threads} "
+              f"shards={spec.pool.shards} seed={spec.seed}")
+        print(f"   total_ops={result.total_ops} "
+              f"throughput={result.throughput_mops:.3f} Mops "
+              f"elapsed_ns={result.elapsed_ns:.0f}")
+        print(f"   ({elapsed:.1f}s wall)\n")
+        dump[spec.name] = _to_jsonable(result)
+    if args.json and not args.validate_only:
+        dump["meta"] = {"repro_version": __version__}
+        with open(args.json, "w") as handle:
+            json.dump(dump, handle, indent=2)
+        print(f"raw records written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,8 +242,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available experiments")
-    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment, 'all', or 'scenario FILE...'"
+    )
+    run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all", "scenario"])
+    run_parser.add_argument("paths", nargs="*", metavar="FILE",
+                            help="scenario file(s) for 'run scenario'")
+    run_parser.add_argument("--validate-only", action="store_true",
+                            help="validate scenario files without running them")
     run_parser.add_argument("--ops", type=int, default=None,
                             help="operations per thread (scale knob)")
     run_parser.add_argument("--seed", type=int, default=None,
@@ -229,6 +282,11 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"  {name:<7s} {description}")
         return 0
+
+    if args.command == "run" and args.experiment == "scenario":
+        return _run_scenarios(args)
+    if getattr(args, "paths", None):
+        parser.error("positional FILE arguments only apply to 'run scenario'")
 
     if args.command == "metrics":
         description, fn = EXPERIMENTS[args.experiment]

@@ -1,0 +1,52 @@
+"""The ``OffloadEngine`` protocol: what every engine owes the cluster.
+
+The paper's core abstraction (Sections 4-6) is "an offload engine
+issues RDMA on behalf of compute nodes".  Concretely that means four
+obligations, and nothing more:
+
+* ``register_instance(instance, pool_hosts)`` — Phase I setup: absorb
+  one client instance's descriptor and wire channels/QPs to every
+  memory-pool node its remote regions live on;
+* ``start()`` — begin Phase II probing (and any timeout scanning);
+* ``stop()`` — halt recurring work so a finished deployment leaks no
+  sim events; idempotent;
+* ``stats_snapshot()`` — flat dict of engine counters for reporting.
+
+``CowbirdP4Engine`` (switch pipeline) and ``CowbirdSpotEngine``
+(harvested-CPU agent) both satisfy this protocol, so experiments, the
+scenario runner, and the sweep harness never touch engine-specific
+wiring.  The protocol is ``runtime_checkable`` for conformance tests;
+third-party engines need only duck-type it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["OffloadEngine"]
+
+
+@runtime_checkable
+class OffloadEngine(Protocol):
+    """Structural interface implemented by every offload engine."""
+
+    def register_instance(self, instance, pool_hosts: dict) -> None:
+        """Phase I: install one client instance.
+
+        ``pool_hosts`` maps pool node name -> :class:`~repro.testbed.Host`
+        for every memory pool referenced by the instance's remote
+        regions (a sharded region references several).
+        """
+        ...
+
+    def start(self) -> None:
+        """Begin Phase II probing; raises if already started."""
+        ...
+
+    def stop(self) -> None:
+        """Halt recurring engine work.  Idempotent."""
+        ...
+
+    def stats_snapshot(self) -> dict:
+        """Flat dict of engine counters (JSON-serializable)."""
+        ...

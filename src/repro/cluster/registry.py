@@ -1,0 +1,131 @@
+"""``SystemRegistry``: pluggable builders for every system-under-test.
+
+Each baseline and Cowbird variant registers a builder function keyed by
+its legend name (``local``, ``two-sided``, ..., ``cowbird-p4``); the
+experiment harness resolves systems through the registry instead of an
+``if system == ...`` ladder.  Adding a third-party backend is one
+decorator::
+
+    from repro.cluster import register_system, BuildContext, BuiltSystem
+
+    @register_system("my-system")
+    def build_my_system(ctx: BuildContext) -> BuiltSystem:
+        backend = MyBackend(ctx.compute, ...)
+        return BuiltSystem(backends=[backend] * ctx.threads)
+
+Builders receive a :class:`BuildContext` (testbed, compute host, thread
+count, sizing) and return a :class:`BuiltSystem` (per-thread backends
+plus whatever pool hosts/engine they assembled).  Registration order is
+preserved — ``SYSTEMS.names()`` is the canonical legend order used by
+``MICROBENCH_SYSTEMS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.cpu import CostModel
+from repro.testbed import Host, Testbed
+
+__all__ = [
+    "BuildContext",
+    "BuiltSystem",
+    "SystemRegistry",
+    "SYSTEMS",
+    "register_system",
+]
+
+
+@dataclass
+class BuildContext:
+    """Everything a system builder may consume.
+
+    The harness constructs the testbed and compute host *before*
+    dispatching to the builder so every system sees an identical
+    simulator prologue (determinism depends on construction order).
+    """
+
+    bed: Testbed
+    compute: Host
+    threads: int
+    remote_bytes: int
+    cost: CostModel
+    pipeline_depth: int = 100
+    #: Stripe the benchmark region over this many pool hosts (cowbird
+    #: systems only; everything else requires the default of 1).
+    pool_shards: int = 1
+    #: Field overrides applied to the engine's config dataclass
+    #: (e.g. ``{"batch_size": 32}`` for the spot engine).
+    engine_config: dict = field(default_factory=dict)
+
+    @property
+    def sim(self):
+        return self.bed.sim
+
+
+@dataclass
+class BuiltSystem:
+    """What a builder hands back to the harness."""
+
+    backends: list
+    pool_host: Optional[Host] = None
+    pool: Optional[object] = None  # MemoryPool or ShardedPool
+    engine: Optional[object] = None  # satisfies OffloadEngine when set
+    #: Pool node name -> Host, for engines and pool-side assertions.
+    pool_hosts: dict = field(default_factory=dict)
+
+
+class SystemRegistry:
+    """Ordered name -> builder mapping with sharding capability flags."""
+
+    def __init__(self) -> None:
+        self._builders: dict[str, Callable[[BuildContext], BuiltSystem]] = {}
+        self._sharded: set[str] = set()
+
+    def register(
+        self, name: str, sharded: bool = False
+    ) -> Callable[[Callable], Callable]:
+        """Decorator registering ``fn`` as the builder for ``name``."""
+
+        def decorator(fn: Callable[[BuildContext], BuiltSystem]) -> Callable:
+            if name in self._builders:
+                raise ValueError(f"system {name!r} already registered")
+            self._builders[name] = fn
+            if sharded:
+                self._sharded.add(name)
+            return fn
+
+        return decorator
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builders
+
+    def names(self) -> tuple[str, ...]:
+        """All registered systems, in registration (legend) order."""
+        return tuple(self._builders)
+
+    def supports_sharding(self, name: str) -> bool:
+        return name in self._sharded
+
+    def build(self, name: str, ctx: BuildContext) -> BuiltSystem:
+        """Resolve and run the builder for ``name``."""
+        builder = self._builders.get(name)
+        if builder is None:
+            raise ValueError(
+                f"unknown system {name!r}; pick from {self.names()}"
+            )
+        if ctx.pool_shards > 1 and name not in self._sharded:
+            raise ValueError(
+                f"system {name!r} does not support sharded pools "
+                f"(pool_shards={ctx.pool_shards})"
+            )
+        return builder(ctx)
+
+
+#: The process-wide registry; importing :mod:`repro.cluster` populates
+#: it with all ten evaluation systems.
+SYSTEMS = SystemRegistry()
+
+#: Module-level decorator bound to the default registry.
+register_system = SYSTEMS.register

@@ -44,6 +44,11 @@ class CowbirdDeployment:
         """The backing memory region on the pool (for test assertions)."""
         return self.pool.region_for(self.region)
 
+    def close(self) -> None:
+        """Stop the engine (cancels recurring probe/timeout events)."""
+        if self.engine is not None:
+            self.engine.stop()
+
 
 def deploy_cowbird(
     engine: str = "spot",
@@ -69,10 +74,7 @@ def deploy_cowbird(
     cost = cost or CostModel()
     bed = Testbed(seed=seed, cost=cost, fault_injector=fault_injector)
     compute = bed.add_host("compute", cpu_cores=compute_cores, smt=smt)
-    pool_host = bed.add_host("pool")
-    pool = MemoryPool("pool")
-    pool_host.registry = pool.registry
-    pool_host.nic.registry = pool.registry
+    pool_host, pool = bed.add_pool("pool")
     region = pool.allocate_region(remote_bytes, name="cowbird-remote")
 
     client = CowbirdClient(compute, cowbird_config)

@@ -25,6 +25,7 @@ incomplete operation and everything after it is re-executed.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
@@ -394,6 +395,8 @@ class CowbirdP4Engine:
         self._vqpn_counter = itertools.count(0x200)
         self._probe_cycle = 0
         self._started = False
+        self._probe_token = None
+        self._timeout_token = None
         previous = switch.pipeline
         if previous is not None:
             raise RuntimeError("switch already has a pipeline installed")
@@ -447,13 +450,39 @@ class CowbirdP4Engine:
         if not self._instances:
             raise RuntimeError("no instances registered")
         self._started = True
-        self.sim.call_after(self.config.probe_interval_ns, self._probe_tick)
-        self.sim.call_after(self.config.timeout_ns, self._timeout_tick)
+        self._probe_token = self.sim.call_after_cancellable(
+            self.config.probe_interval_ns, self._probe_tick
+        )
+        self._timeout_token = self.sim.call_after_cancellable(
+            self.config.timeout_ns, self._timeout_tick
+        )
+
+    def stop(self) -> None:
+        """Halt probing and timeout scanning; cancel the pending ticks.
+
+        Without this a built deployment leaks one recurring sim event
+        per tick forever (each tick re-arms itself unconditionally).
+        Idempotent: stopping a never-started or already-stopped engine
+        is a no-op.
+        """
+        self._started = False
+        if self._probe_token is not None:
+            self._probe_token.cancel()
+            self._probe_token = None
+        if self._timeout_token is not None:
+            self._timeout_token.cancel()
+            self._timeout_token = None
+
+    def stats_snapshot(self) -> dict:
+        """Flat engine counters (the OffloadEngine protocol view)."""
+        return dataclasses.asdict(self.stats)
 
     # ------------------------------------------------------------------
     # Phase II: probing (time-division multiplexed across instances)
     # ------------------------------------------------------------------
     def _probe_tick(self) -> None:
+        if not self._started:
+            return
         state = self._next_probe_target()
         interval = self.config.probe_interval_ns
         if self.config.adaptive_probing and state is not None:
@@ -472,7 +501,9 @@ class CowbirdP4Engine:
                 kind="probe",
                 instance=state,
             )
-        self.sim.call_after(interval, self._probe_tick)
+        self._probe_token = self.sim.call_after_cancellable(
+            interval, self._probe_tick
+        )
 
     def _next_probe_target(self) -> Optional[_Instance]:
         """Pick the instance this probe slot serves (Section 5.4 TDM).
@@ -806,13 +837,17 @@ class CowbirdP4Engine:
     # Fault tolerance: data-plane timeouts + Go-Back-N (Section 5.3)
     # ------------------------------------------------------------------
     def _timeout_tick(self) -> None:
+        if not self._started:
+            return
         for channel in self._channels_by_vqpn.values():
             oldest = channel.oldest_pending()
             if oldest is not None and (
                 self.sim.now - oldest.issued_at >= self.config.timeout_ns
             ):
                 self._go_back_n(channel)
-        self.sim.call_after(self.config.timeout_ns, self._timeout_tick)
+        self._timeout_token = self.sim.call_after_cancellable(
+            self.config.timeout_ns, self._timeout_tick
+        )
 
     def _go_back_n(self, channel: _Channel) -> None:
         """Rewind the channel PSN and re-execute everything incomplete."""

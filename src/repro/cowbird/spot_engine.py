@@ -25,6 +25,7 @@ CQE reaping, so per-request CPU cost is a few nanoseconds while the
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -299,6 +300,10 @@ class CowbirdSpotEngine:
         self._running = False
         if self._work_signal is not None and not self._work_signal.done:
             self._work_signal.resolve(None)
+
+    def stats_snapshot(self) -> dict:
+        """Flat engine counters (the OffloadEngine protocol view)."""
+        return dataclasses.asdict(self.stats)
 
     def agent_cpu_ns(self) -> float:
         """Total agent CPU time consumed (Section 8.4 resource usage)."""

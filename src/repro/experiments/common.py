@@ -5,7 +5,10 @@ system-under-test (testbed, hosts, QPs/engines, per-thread backends);
 ``run_microbench`` drives the Section 8.1 hash-table probe loop on it
 and aggregates per-thread results.
 
-The supported systems mirror the evaluation's legend entries:
+Systems are resolved through the :data:`repro.cluster.SYSTEMS` registry
+— each legend entry registers a builder in ``repro.cluster.builders``,
+so adding a system never touches this module.  The supported systems
+mirror the evaluation's legend entries:
 
 ================  =====================================================
 ``local``          purely local memory (upper bound)
@@ -26,22 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.baselines import (
-    AifmBackend,
-    AifmConfig,
-    LocalMemoryBackend,
-    OneSidedAsyncBackend,
-    OneSidedSyncBackend,
-    RedyBackend,
-    RedyConfig,
-    SsdBackend,
-    TwoSidedSyncBackend,
-)
-from repro.baselines.backends import Backend, CowbirdBackend
-from repro.cowbird.api import CowbirdClient, CowbirdConfig
-from repro.cowbird.p4_engine import CowbirdP4Engine, P4EngineConfig
-from repro.cowbird.spot_engine import CowbirdSpotEngine, SpotEngineConfig
-from repro.memory.pool import MemoryPool
+from repro.baselines.backends import Backend
+from repro.cluster import SYSTEMS, BuildContext
 from repro.sim.cpu import CostModel
 from repro.sim.trace import mops
 from repro.testbed import Host, Testbed
@@ -55,18 +44,8 @@ __all__ = [
     "run_microbench",
 ]
 
-MICROBENCH_SYSTEMS = (
-    "local",
-    "two-sided",
-    "one-sided",
-    "async",
-    "cowbird-nb",
-    "cowbird",
-    "cowbird-p4",
-    "redy",
-    "aifm",
-    "ssd",
-)
+#: Legend order comes straight from the registry (registration order).
+MICROBENCH_SYSTEMS = SYSTEMS.names()
 
 #: Compute-node shape from Section 7: Xeon Silver 4110, 8 cores + HT.
 COMPUTE_CORES = 8
@@ -83,10 +62,24 @@ class MicrobenchDeployment:
     backends: list[Backend]
     pool_host: Optional[Host] = None
     engine: Optional[object] = None
+    #: MemoryPool or ShardedPool backing the benchmark region, if any.
+    pool: Optional[object] = None
+    #: Pool node name -> Host (several entries for sharded pools).
+    pool_hosts: dict = field(default_factory=dict)
 
     @property
     def sim(self):
         return self.bed.sim
+
+    def close(self) -> None:
+        """Stop the engine so the deployment leaks no recurring events.
+
+        A started engine re-arms probe/timeout ticks forever; a sweep
+        that builds thousands of deployments without stopping them
+        drags every simulation's event heap.  Idempotent.
+        """
+        if self.engine is not None:
+            self.engine.stop()
 
 
 @dataclass
@@ -112,15 +105,6 @@ class MicrobenchResult:
         return (self.comm_cpu_ns + self.blocked_ns) / total
 
 
-def _setup_pool(bed: Testbed, remote_bytes: int):
-    pool_host = bed.add_host("pool")
-    pool = MemoryPool("pool")
-    pool_host.registry = pool.registry
-    pool_host.nic.registry = pool.registry
-    handle = pool.allocate_region(remote_bytes, name="bench-remote")
-    return pool_host, pool, handle
-
-
 def build_microbench(
     system: str,
     threads: int,
@@ -128,94 +112,87 @@ def build_microbench(
     cost: Optional[CostModel] = None,
     seed: int = 0,
     pipeline_depth: int = 100,
+    pool_shards: int = 1,
+    engine_config: Optional[dict] = None,
 ) -> MicrobenchDeployment:
     """Assemble one system-under-test with ``threads`` worker backends."""
-    if system not in MICROBENCH_SYSTEMS:
-        raise ValueError(f"unknown system {system!r}; pick from {MICROBENCH_SYSTEMS}")
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS.names()}")
     cost = cost or CostModel()
     bed = Testbed(seed=seed, cost=cost)
     compute = bed.add_host("compute", cpu_cores=COMPUTE_CORES, smt=COMPUTE_SMT)
-    backends: list[Backend] = []
-    pool_host = None
-    engine = None
-
-    if system == "local":
-        backends = [LocalMemoryBackend(cost) for _ in range(threads)]
-
-    elif system == "ssd":
-        shared = SsdBackend(compute)
-        backends = [shared] * threads
-
-    elif system in ("two-sided", "one-sided", "async"):
-        pool_host, _pool, handle = _setup_pool(bed, remote_bytes)
-        if system == "two-sided":
-            # Two-sided RPC burns pool CPU: one busy-polling server
-            # thread per connection (they spin, so each needs a core).
-            from repro.sim.cpu import CPU
-
-            pool_host.cpu = CPU(
-                bed.sim, physical_cores=max(2, threads), smt=1, cost_model=cost
-            )
-            for _ in range(threads):
-                qp_c, qp_p = bed.connect_qps(compute, pool_host)
-                backend = TwoSidedSyncBackend(compute, pool_host, qp_c, qp_p, handle)
-                backends.append(backend)
-        else:
-            for _ in range(threads):
-                qp_c, _qp_p = bed.connect_qps(compute, pool_host)
-                if system == "one-sided":
-                    backends.append(OneSidedSyncBackend(compute, qp_c, handle))
-                else:
-                    backends.append(
-                        OneSidedAsyncBackend(compute, qp_c, handle, batch=pipeline_depth)
-                    )
-
-    elif system in ("cowbird", "cowbird-nb", "cowbird-p4"):
-        pool_host, pool, handle = _setup_pool(bed, remote_bytes)
-        client = CowbirdClient(compute, CowbirdConfig())
-        client.register_remote_region(handle)
-        instances = [client.create_instance() for _ in range(threads)]
-        if system == "cowbird-p4":
-            engine = CowbirdP4Engine(bed.sim, bed.switch, P4EngineConfig())
-            for instance in instances:
-                engine.register_instance(instance, {"pool": pool_host})
-        else:
-            agent = bed.add_host("spot-agent", cpu_cores=1, smt=2)
-            if system == "cowbird-nb":
-                # "Batching disabled": every read response is written
-                # back individually, and doorbell batching is restricted,
-                # so per-request verb overhead returns (Section 6).
-                spot_config = SpotEngineConfig(batch_size=1, max_post_batch=8)
-            else:
-                spot_config = SpotEngineConfig(batch_size=100)
-            engine = CowbirdSpotEngine(agent, spot_config)
-            for instance in instances:
-                engine.register_instance(instance, {"pool": pool_host})
-        engine.start()
-        backends = [
-            CowbirdBackend(instance, pending_limit=pipeline_depth)
-            for instance in instances
-        ]
-
-    elif system == "redy":
-        pool_host, _pool, handle = _setup_pool(bed, remote_bytes)
-        io_threads = max(1, -(-threads // 4))
-        qp_pairs = [bed.connect_qps(compute, pool_host) for _ in range(io_threads)]
-        shared = RedyBackend(
-            compute, pool_host, handle, qp_pairs,
-            RedyConfig(io_threads=io_threads),
-        )
-        backends = [shared] * threads
-
-    elif system == "aifm":
-        pool_host, _pool, handle = _setup_pool(bed, remote_bytes)
-        shared = AifmBackend(compute, pool_host, handle, AifmConfig())
-        backends = [shared] * threads
-
-    return MicrobenchDeployment(
-        system=system, bed=bed, compute=compute, backends=backends,
-        pool_host=pool_host, engine=engine,
+    built = SYSTEMS.build(
+        system,
+        BuildContext(
+            bed=bed, compute=compute, threads=threads,
+            remote_bytes=remote_bytes, cost=cost,
+            pipeline_depth=pipeline_depth, pool_shards=pool_shards,
+            engine_config=engine_config or {},
+        ),
     )
+    return MicrobenchDeployment(
+        system=system, bed=bed, compute=compute, backends=built.backends,
+        pool_host=built.pool_host, engine=built.engine, pool=built.pool,
+        pool_hosts=dict(built.pool_hosts),
+    )
+
+
+def drive_probe_workload(
+    deployment: MicrobenchDeployment,
+    table: HashTable,
+    cost: CostModel,
+    seed: int = 0,
+    deadline_ns: float = 60e9,
+) -> MicrobenchResult:
+    """Run the hash-table probe loop on an assembled deployment.
+
+    Shared by ``run_microbench`` and the scenario runner: spawns one
+    ``probe_worker`` per backend, waits for all of them, closes the
+    deployment, and aggregates per-thread results.
+    """
+    sim = deployment.sim
+    threads = len(deployment.backends)
+    processes = []
+    for i in range(threads):
+        thread = deployment.compute.cpu.thread(f"worker-{i}")
+        backend = deployment.backends[i]
+        processes.append(
+            sim.spawn(
+                probe_worker(thread, backend, table, cost, seed=seed * 1000 + i),
+                name=f"worker-{i}",
+            )
+        )
+    results = [
+        sim.run_until_complete(process, deadline=deadline_ns) for process in processes
+    ]
+    deployment.close()
+    started = min(r.started_at for r in results)
+    finished = max(r.finished_at for r in results)
+    aggregate = MicrobenchResult(
+        system=deployment.system, threads=threads,
+        record_bytes=table.config.record_bytes,
+        total_ops=sum(r.ops for r in results),
+        elapsed_ns=finished - started,
+        comm_cpu_ns=sum(r.comm_cpu_ns for r in results),
+        app_cpu_ns=sum(r.app_cpu_ns for r in results),
+        blocked_ns=sum(r.blocked_ns for r in results),
+        per_thread_mops=[r.mops() for r in results],
+    )
+    aggregate.throughput_mops = mops(aggregate.total_ops, aggregate.elapsed_ns)
+    tel = sim.telemetry
+    if tel.enabled:
+        system = deployment.system
+        tel.complete(
+            "bench.microbench", started, finished,
+            process="bench", track=system,
+            threads=threads, record_bytes=table.config.record_bytes,
+            total_ops=aggregate.total_ops,
+        )
+        tel.gauge(f"bench.{system}.throughput_mops").set(
+            aggregate.throughput_mops
+        )
+        tel.counter(f"bench.{system}.ops").inc(aggregate.total_ops)
+    return aggregate
 
 
 def run_microbench(
@@ -246,42 +223,6 @@ def run_microbench(
         system, threads, remote_bytes=remote_bytes, cost=cost, seed=seed,
         pipeline_depth=pipeline_depth,
     )
-    sim = deployment.sim
-    processes = []
-    for i in range(threads):
-        thread = deployment.compute.cpu.thread(f"worker-{i}")
-        backend = deployment.backends[i]
-        processes.append(
-            sim.spawn(
-                probe_worker(thread, backend, table, cost, seed=seed * 1000 + i),
-                name=f"worker-{i}",
-            )
-        )
-    results = [
-        sim.run_until_complete(process, deadline=deadline_ns) for process in processes
-    ]
-    started = min(r.started_at for r in results)
-    finished = max(r.finished_at for r in results)
-    aggregate = MicrobenchResult(
-        system=system, threads=threads, record_bytes=record_bytes,
-        total_ops=sum(r.ops for r in results),
-        elapsed_ns=finished - started,
-        comm_cpu_ns=sum(r.comm_cpu_ns for r in results),
-        app_cpu_ns=sum(r.app_cpu_ns for r in results),
-        blocked_ns=sum(r.blocked_ns for r in results),
-        per_thread_mops=[r.mops() for r in results],
+    return drive_probe_workload(
+        deployment, table, cost, seed=seed, deadline_ns=deadline_ns
     )
-    aggregate.throughput_mops = mops(aggregate.total_ops, aggregate.elapsed_ns)
-    tel = sim.telemetry
-    if tel.enabled:
-        tel.complete(
-            "bench.microbench", started, finished,
-            process="bench", track=system,
-            threads=threads, record_bytes=record_bytes,
-            total_ops=aggregate.total_ops,
-        )
-        tel.gauge(f"bench.{system}.throughput_mops").set(
-            aggregate.throughput_mops
-        )
-        tel.counter(f"bench.{system}.ops").inc(aggregate.total_ops)
-    return aggregate

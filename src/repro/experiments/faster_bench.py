@@ -186,6 +186,7 @@ def run_faster_bench(
         sim.run_until_complete(process, deadline=deadline_ns)
         for process in processes
     ]
+    deployment.close()
     started = min(r["started_at"] for r in results)
     finished = max(r["finished_at"] for r in results)
     outcome = FasterBenchResult(

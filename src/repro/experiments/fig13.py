@@ -100,6 +100,7 @@ def measure_latency_point(
         )
     )
     deployment.sim.run_until_complete(process, deadline=120e9)
+    deployment.close()
     return Fig13Row(
         system=system, record_bytes=record_bytes,
         median_us=recorder.median_us(), p99_us=recorder.p99_us(),

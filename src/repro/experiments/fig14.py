@@ -141,6 +141,7 @@ def run(
             window_end = sim.now if results else sim.run(until=400_000)
             for flow in flows:
                 flow.stop()
+            deployment.close()
             tcp_gbps = sum(flow.achieved_gbps(window_end) for flow in flows)
             total_ops = sum(r.ops for r in results) if results else 0
             elapsed = (

@@ -14,12 +14,18 @@ fragments of a VM, as in Redy); the handle abstraction covers both.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.memory.region import MemoryRegion, Permission, RegionRegistry
 
-__all__ = ["MemoryPool", "RemoteRegionHandle"]
+__all__ = [
+    "MemoryPool",
+    "RemoteRegionHandle",
+    "ShardedPool",
+    "ShardedRegionHandle",
+]
 
 
 @dataclass(frozen=True)
@@ -105,3 +111,115 @@ class MemoryPool:
     def region_for(self, handle: RemoteRegionHandle) -> MemoryRegion:
         """Resolve a handle back to its backing region (pool side)."""
         return self.registry.by_rkey(handle.rkey)
+
+
+@dataclass(frozen=True)
+class ShardedRegionHandle:
+    """One logical region striped over N pool hosts.
+
+    The stripe unit is the whole per-shard chunk (block striping):
+    bytes ``[i * shard_bytes, (i+1) * shard_bytes)`` of the logical
+    region live on shard ``i``.  Requests may not cross a shard
+    boundary — callers that align their record layout to the shard
+    size (every workload here does) never hit that limit.
+    """
+
+    shards: tuple[RemoteRegionHandle, ...]
+    shard_bytes: int
+    length: int
+
+    @property
+    def region_ids(self) -> tuple[int, ...]:
+        return tuple(handle.region_id for handle in self.shards)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(handle.node for handle in self.shards)
+
+    def shard_index(self, offset: int) -> int:
+        if not 0 <= offset < len(self.shards) * self.shard_bytes:
+            raise ValueError(
+                f"offset {offset} outside sharded region of "
+                f"{len(self.shards)} x {self.shard_bytes} bytes"
+            )
+        return offset // self.shard_bytes
+
+    def locate(self, offset: int, length: int = 1) -> tuple[RemoteRegionHandle, int]:
+        """Map a logical offset to ``(shard handle, shard-local offset)``."""
+        index = self.shard_index(offset)
+        local = offset - index * self.shard_bytes
+        if local + length > self.shard_bytes:
+            raise ValueError(
+                f"request [{offset}, +{length}) crosses the shard boundary "
+                f"at {(index + 1) * self.shard_bytes}"
+            )
+        return self.shards[index], local
+
+
+class ShardedPool:
+    """A logical memory pool striped across N :class:`MemoryPool` shards.
+
+    Each shard is an ordinary pool on its own host; the sharded pool
+    only owns the striping math and a region-id space that spans all
+    shards, so every shard of a logical region is addressable as its
+    own ``region_id`` by clients and offload engines (which already
+    speak per-region rkeys and per-node channels).
+    """
+
+    #: Per-shard chunks are rounded up to this many bytes so record
+    #: layouts of any power-of-two record size stay shard-aligned.
+    STRIPE_ALIGN = 4096
+
+    def __init__(self, pools: Sequence[MemoryPool]) -> None:
+        if not pools:
+            raise ValueError("a sharded pool needs at least one shard")
+        self.pools = list(pools)
+        self._next_region_id = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.pools)
+
+    @property
+    def nodes(self) -> list[str]:
+        return [pool.node for pool in self.pools]
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(pool.allocated_bytes for pool in self.pools)
+
+    def allocate_region(self, length: int, name: str = "") -> ShardedRegionHandle:
+        """Stripe one logical region of ``length`` bytes over the shards."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        chunk = -(-length // self.num_shards)  # ceil
+        align = self.STRIPE_ALIGN
+        shard_bytes = (chunk + align - 1) // align * align
+        handles = []
+        for i, pool in enumerate(self.pools):
+            handle = pool.allocate_region(
+                shard_bytes, name=f"{name or 'sharded'}-shard{i}"
+            )
+            # Re-key into the sharded pool's own region-id space so the
+            # ids stay unique across shards (each shard pool numbers
+            # its regions independently from zero).
+            handles.append(
+                dataclasses.replace(handle, region_id=self._next_region_id)
+            )
+            self._next_region_id += 1
+        return ShardedRegionHandle(
+            shards=tuple(handles),
+            shard_bytes=shard_bytes,
+            length=self.num_shards * shard_bytes,
+        )
+
+    def pool_for(self, handle: RemoteRegionHandle) -> MemoryPool:
+        """Resolve a shard handle back to the pool that owns it."""
+        for pool in self.pools:
+            if pool.node == handle.node:
+                return pool
+        raise KeyError(f"no shard pool named {handle.node!r}")
+
+    def region_for(self, handle: RemoteRegionHandle) -> MemoryRegion:
+        """Resolve a shard handle back to its backing region."""
+        return self.pool_for(handle).registry.by_rkey(handle.rkey)

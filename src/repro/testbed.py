@@ -62,6 +62,22 @@ class Host:
         """Register a non-RDMA packet handler (e.g. a TCP sink/demux)."""
         self._protocol_handlers.append(handler)
 
+    def attach_pool(self, pool) -> None:
+        """Serve a :class:`~repro.memory.pool.MemoryPool` from this host.
+
+        The pool owns the region registry; both the host and its NIC
+        must resolve rkeys against it (one-sided RDMA is serviced
+        entirely NIC-side).  This is the single sanctioned way to bind
+        a pool to a host — callers must not mutate ``host.registry``
+        and ``host.nic.registry`` by hand.
+        """
+        if pool.node != self.name:
+            raise ValueError(
+                f"pool node {pool.node!r} does not match host {self.name!r}"
+            )
+        self.registry = pool.registry
+        self.nic.registry = pool.registry
+
     def receive(self, packet, link) -> None:
         self.nic.receive(packet, link)
         for handler in self._protocol_handlers:
@@ -150,6 +166,29 @@ class Testbed:
         self.switch.attach(name, downlink)
         self.hosts[name] = host
         return host
+
+    def add_pool(
+        self,
+        name: str,
+        pool=None,
+        capacity_bytes: Optional[int] = None,
+        **host_kwargs,
+    ) -> tuple[Host, "MemoryPool"]:
+        """Create a host serving a memory pool, cabled to the switch.
+
+        Builds the host (CPU-less by default: a disaggregated pool
+        needs no compute for data transfers), then either adopts the
+        given ``pool`` or creates a fresh :class:`MemoryPool` named
+        after the host, and attaches it via :meth:`Host.attach_pool`.
+        Returns ``(pool_host, pool)``.
+        """
+        from repro.memory.pool import MemoryPool
+
+        host = self.add_host(name, **host_kwargs)
+        if pool is None:
+            pool = MemoryPool(name, capacity_bytes=capacity_bytes)
+        host.attach_pool(pool)
+        return host, pool
 
     def connect_qps(
         self,

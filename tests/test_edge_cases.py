@@ -153,17 +153,13 @@ class TestMultiplePools:
         engine opens one channel per pool (Section 5.4)."""
         from repro.cowbird.api import CowbirdClient
         from repro.cowbird.spot_engine import CowbirdSpotEngine
-        from repro.memory.pool import MemoryPool
 
         bed = Testbed()
         compute = bed.add_host("compute", cpu_cores=2)
         pools = {}
         handles = []
         for name in ("pool-a", "pool-b"):
-            host = bed.add_host(name)
-            pool = MemoryPool(name)
-            host.registry = pool.registry
-            host.nic.registry = pool.registry
+            host, pool = bed.add_pool(name)
             handle = pool.allocate_region(1 << 16)
             # Region ids must be distinct across pools for one client.
             object.__setattr__(handle, "region_id", len(handles))

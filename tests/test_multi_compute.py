@@ -10,17 +10,13 @@ import pytest
 from repro.cowbird.api import CowbirdClient
 from repro.cowbird.p4_engine import CowbirdP4Engine
 from repro.cowbird.spot_engine import CowbirdSpotEngine
-from repro.memory.pool import MemoryPool
 from repro.testbed import Testbed
 
 
 def build_two_compute(engine_kind):
     bed = Testbed()
     computes = [bed.add_host(f"compute-{i}", cpu_cores=4) for i in range(2)]
-    pool_host = bed.add_host("pool")
-    pool = MemoryPool("pool")
-    pool_host.registry = pool.registry
-    pool_host.nic.registry = pool.registry
+    pool_host, pool = bed.add_pool("pool")
     handles = [pool.allocate_region(1 << 16) for _ in range(2)]
     instances = []
     for compute, handle in zip(computes, handles):
