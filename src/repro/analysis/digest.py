@@ -1,0 +1,43 @@
+"""Event-stream checksum for cross-run divergence detection.
+
+The sanitizer folds every dispatched event ``(when, seq, kind)`` into a
+blake2b hash.  Two runs of the same scenario — different ``--parallel``
+fan-out, same seeds — must produce the same digest; any divergence means
+the event stream itself differed, which is exactly the class of bug the
+byte-identical-JSON guarantee is meant to exclude.
+
+``hexdigest``/``as_int`` snapshot the running hash without finalizing
+it, so the digest can be read mid-run (e.g. published as a telemetry
+gauge) and updated afterwards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["EventDigest"]
+
+_PACK = struct.Struct("<dQ").pack
+
+
+class EventDigest:
+    """Order-sensitive checksum over the dispatched event stream."""
+
+    __slots__ = ("_hash", "events")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.events = 0
+
+    def update(self, when: float, seq: int, kind: str) -> None:
+        self.events += 1
+        self._hash.update(_PACK(when, seq))
+        self._hash.update(kind.encode("utf-8", "replace"))
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+    def as_int(self) -> int:
+        """First 48 bits of the digest as an int (float-exact < 2**53)."""
+        return int.from_bytes(self._hash.digest()[:6], "big")

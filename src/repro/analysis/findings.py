@@ -1,0 +1,51 @@
+"""Finding records emitted by the ``simcheck`` static pass.
+
+A :class:`Finding` pins one rule violation to a ``path:line:col``
+location and carries the rule code, a human message, and a fix hint.
+Findings serialize to plain dicts so ``repro lint --json`` output is
+stable and machine-diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+__all__ = ["Finding", "findings_to_json", "format_findings"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Stable JSON document for ``repro lint --json``."""
+    payload = [finding.to_dict() for finding in findings]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one block per finding."""
+    findings = list(findings)
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"simcheck: {len(findings)} {noun}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""``simcheck`` — the sim-safety linter driver.
+
+Walks Python sources (pruning ``__pycache__``/hidden/cache dirs), runs
+every registered rule from :mod:`repro.analysis.rules`, honours inline
+``# simcheck: ignore[SIMxxx]`` suppressions, and renders findings as
+human text or JSON.  Exposed through the CLI as ``repro lint`` and
+directly runnable as ``python -m repro.analysis.simcheck``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from pathlib import PurePath
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, findings_to_json, format_findings
+from repro.analysis.rules import RULES, FileContext
+
+__all__ = [
+    "DEFAULT_ALLOWLIST",
+    "is_allowlisted",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: Path components exempt from SIM001 (wall-clock is legitimate there:
+#: the CLI reports real elapsed time, benchmarks measure the host).
+DEFAULT_ALLOWLIST = ("cli.py", "benchmarks")
+
+#: Directories never descended into.
+_PRUNE_DIRS = {"__pycache__", ".git", ".repro_cache", ".pytest_cache", ".ruff_cache"}
+
+_IGNORE_RE = re.compile(r"#\s*simcheck:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+def is_allowlisted(path: str, allowlist: Sequence[str] = DEFAULT_ALLOWLIST) -> bool:
+    """True when any path component matches an allowlist entry."""
+    parts = PurePath(path).parts
+    return any(part in allowlist for part in parts)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths``, pruning cache directories."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in _PRUNE_DIRS and not d.startswith(".")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _IGNORE_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group(1)
+    if codes is None:
+        return True  # blanket "# simcheck: ignore"
+    wanted = {code.strip().upper() for code in codes.split(",") if code.strip()}
+    return finding.code in wanted
+
+
+def _normalize_codes(codes: Optional[Iterable[str]]) -> Optional[Set[str]]:
+    if codes is None:
+        return None
+    out: Set[str] = set()
+    for chunk in codes:
+        out.update(c.strip().upper() for c in chunk.split(",") if c.strip())
+    return out or None
+
+
+def lint_source(
+    path: str,
+    source: str,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    allowlist: Sequence[str] = DEFAULT_ALLOWLIST,
+) -> List[Finding]:
+    """Run all (selected) rules over one module's source text."""
+    selected = _normalize_codes(select)
+    ignored = _normalize_codes(ignore) or set()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="SIM000",
+                message=f"syntax error: {exc.msg}",
+                hint="fix the parse error; simcheck cannot analyse this file",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        sim_path=not is_allowlisted(path, allowlist),
+    )
+    findings: List[Finding] = []
+    for code in sorted(RULES):
+        if selected is not None and code not in selected:
+            continue
+        if code in ignored:
+            continue
+        findings.extend(RULES[code].check(ctx))
+    lines = source.splitlines()
+    findings = [f for f in findings if not _suppressed(f, lines)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    allowlist: Sequence[str] = DEFAULT_ALLOWLIST,
+) -> List[Finding]:
+    """Lint every Python file reachable from ``paths``."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(
+            lint_source(filename, source, select=select, ignore=ignore,
+                        allowlist=allowlist)
+        )
+    return findings
+
+
+def run(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    as_json: bool = False,
+    stream=None,
+) -> int:
+    """Lint ``paths`` and print a report; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"simcheck: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, select=select, ignore=ignore)
+    if as_json:
+        print(findings_to_json(findings), file=stream)
+    else:
+        print(format_findings(findings), file=stream)
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simcheck",
+        description="AST linter for simulator determinism/lifetime invariants",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. SIM001,SIM002)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON array"
+    )
+    args = parser.parse_args(argv)
+    return run(
+        args.paths or ["src/repro"],
+        select=args.select,
+        ignore=args.ignore,
+        as_json=args.json,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

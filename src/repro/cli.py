@@ -11,6 +11,8 @@ Usage::
     python -m repro run all
     python -m repro run scenario examples/scenarios/fig08_point.toml
     python -m repro run scenario examples/scenarios/*.toml --validate-only
+    python -m repro lint src/repro
+    python -m repro lint --select SIM001,SIM002 --json src/repro
 
 Each experiment prints the same rows/series the paper reports; ``--json``
 additionally dumps the raw records (plus a ``meta`` block with seeds,
@@ -29,6 +31,11 @@ point config); ``--no-cache`` bypasses the cache.
 ``run scenario FILE...`` loads declarative deployment descriptions
 (JSON/TOML, see ``repro.cluster``) and runs the microbenchmark workload
 they describe; ``--validate-only`` stops after schema validation.
+
+``lint [PATH...]`` runs the ``simcheck`` sim-safety linter
+(:mod:`repro.analysis`) over the given files/directories (default
+``src/repro``); exit code 1 means findings.  The runtime counterpart is
+``REPRO_SANITIZE=1``, which any ``repro run`` honours.
 """
 
 from __future__ import annotations
@@ -276,7 +283,28 @@ def main(argv: list[str] | None = None) -> int:
                                 help="override the experiment's default seed")
     metrics_parser.add_argument("--prefix", default="",
                                 help="only show metrics under this dotted prefix")
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the simcheck sim-safety linter (SIM001-SIM006)"
+    )
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files/directories to lint (default: src/repro)")
+    lint_parser.add_argument("--select", action="append", metavar="CODES",
+                             help="comma-separated rule codes to run exclusively")
+    lint_parser.add_argument("--ignore", action="append", metavar="CODES",
+                             help="comma-separated rule codes to skip")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit findings as a JSON array")
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        from repro.analysis import simcheck
+
+        return simcheck.run(
+            args.paths or ["src/repro"],
+            select=args.select,
+            ignore=args.ignore,
+            as_json=args.json,
+        )
 
     if args.command == "list":
         for name, (description, _fn) in EXPERIMENTS.items():

@@ -372,7 +372,7 @@ class CowbirdP4Engine:
         self.stats = P4EngineStats()
         #: Free-list for switch-generated packets; shells come back when
         #: the receiving NIC finishes dispatching them.
-        self.pool = PacketPool()
+        self.pool = PacketPool(sanitizer=sim.sanitizer)
         tel = sim.telemetry
         self._tel = tel
         self._tel_probes = tel.counter("p4.probes_sent")

@@ -77,9 +77,17 @@ class MicrobenchDeployment:
         A started engine re-arms probe/timeout ticks forever; a sweep
         that builds thousands of deployments without stopping them
         drags every simulation's event heap.  Idempotent.
+
+        Under the sanitizer (``REPRO_SANITIZE=1``), close additionally
+        drains in-flight packets for a bounded window and then raises
+        :class:`repro.analysis.SanitizerError` on any packet or timer
+        leak, with allocation sites.
         """
         if self.engine is not None:
             self.engine.stop()
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.drain_and_check()
 
 
 @dataclass
@@ -192,6 +200,10 @@ def drive_probe_workload(
             aggregate.throughput_mops
         )
         tel.counter(f"bench.{system}.ops").inc(aggregate.total_ops)
+        if sim.sanitizer is not None:
+            # Event-stream checksum (post-drain): merged snapshots must
+            # carry identical digests for any --parallel fan-out.
+            tel.gauge("sim.digest").set(sim.sanitizer.digest.as_int())
     return aggregate
 
 

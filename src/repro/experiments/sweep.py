@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro import __version__, telemetry
+from repro.analysis.sanitizer import sanitize_enabled
 
 __all__ = ["SweepPoint", "run_sweep", "sweep_cache_key"]
 
@@ -98,17 +99,23 @@ def _execute_point(spec: tuple[str, dict, bool]) -> tuple[Any, Optional[dict], f
 
 
 def sweep_cache_key(kind: str, kwargs: dict, collect: bool) -> str:
-    """Stable cache key: SHA-256 over version + kind + sorted kwargs."""
-    payload = json.dumps(
-        {
-            "repro_version": __version__,
-            "kind": kind,
-            "kwargs": kwargs,
-            "collect": collect,
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+    """Stable cache key: SHA-256 over version + kind + sorted kwargs.
+
+    Sanitized runs key separately (their snapshots carry ``sim.digest``
+    gauges); the flag is only added when on, so pre-existing cache
+    entries stay valid for default runs.
+    """
+    payload = {
+        "repro_version": __version__,
+        "kind": kind,
+        "kwargs": kwargs,
+        "collect": collect,
+    }
+    if sanitize_enabled():
+        payload["sanitize"] = True
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
 
 
 def _cache_load(cache_dir: str, key: str):

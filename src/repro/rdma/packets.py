@@ -537,13 +537,20 @@ class PacketPool:
     constructor still validates for everyone else.  Payload and wire
     references are dropped at release so buffers do not outlive their
     packet.
+
+    ``sanitizer`` is an optional :class:`repro.analysis.SimSanitizer`
+    (duck-typed: anything with ``on_acquire``/``on_release``); when set,
+    every acquire/release is reported so double releases and end-of-run
+    leaks surface with allocation sites.  ``None`` (the default) keeps
+    the hot path branch-one-compare cheap.
     """
 
-    __slots__ = ("_free", "maxsize")
+    __slots__ = ("_free", "maxsize", "sanitizer")
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, sanitizer=None) -> None:
         self._free: list[RocePacket] = []
         self.maxsize = maxsize
+        self.sanitizer = sanitizer
 
     def __len__(self) -> int:
         return len(self._free)
@@ -575,9 +582,13 @@ class PacketPool:
                 priority=priority,
             )
         packet._pool = self
+        if self.sanitizer is not None:
+            self.sanitizer.on_acquire(self, packet)
         return packet
 
     def release(self, packet: RocePacket) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_release(self, packet, owned=packet._pool is self)
         if packet._pool is not self:
             return  # not ours (or already released): ignore
         packet._pool = None

@@ -324,9 +324,14 @@ class Simulator:
         "_tel_events",
         "_tel_spawns",
         "events_dispatched",
+        "sanitizer",
     )
 
-    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = count(1)
@@ -336,6 +341,17 @@ class Simulator:
         self._tel_events = NULL_TELEMETRY.counter("sim.events_dispatched")
         self._tel_spawns = NULL_TELEMETRY.counter("sim.processes_spawned")
         self.attach_telemetry(telemetry or NULL_TELEMETRY)
+        # Imported lazily: repro.analysis depends on this module.
+        if sanitize is None:
+            from repro.analysis.sanitizer import sanitize_enabled
+
+            sanitize = sanitize_enabled()
+        if sanitize:
+            from repro.analysis.sanitizer import SimSanitizer
+
+            self.sanitizer = SimSanitizer(self)
+        else:
+            self.sanitizer = None
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         """Bind ``telemetry`` to this simulator's clock and event loop.
@@ -369,6 +385,8 @@ class Simulator:
         """Like :meth:`call_at`, but returns a cancellable token."""
         token = EventToken(callback)
         self.call_at(when, token)
+        if self.sanitizer is not None:
+            self.sanitizer.on_token(token)
         return token
 
     def call_after_cancellable(
@@ -437,6 +455,8 @@ class Simulator:
         ``until=None`` the run continues until no events remain (which
         never happens while periodic processes are alive — pass a bound).
         """
+        if self.sanitizer is not None:
+            return self.sanitizer.run(until)
         queue = self._queue
         pop = heapq.heappop
         push = heapq.heappush
@@ -493,6 +513,8 @@ class Simulator:
         check peeks at the head event before popping, so an over-deadline
         event stays queued rather than being silently discarded.
         """
+        if self.sanitizer is not None:
+            return self.sanitizer.run_until_complete(process, deadline)
         queue = self._queue
         pop = heapq.heappop
         push = heapq.heappush
@@ -541,6 +563,20 @@ class Simulator:
         finally:
             self.events_dispatched += dispatched
             self._tel_events.inc(dispatched)
+
+    def digest(self) -> str:
+        """Event-stream checksum accumulated by the sanitizer.
+
+        Two runs that dispatched the same events in the same order have
+        the same digest; tests assert it equal across seeds and
+        ``--parallel`` fan-out.  Requires the sanitizer.
+        """
+        if self.sanitizer is None:
+            raise SimulationError(
+                "engine digest requires the sanitizer "
+                "(REPRO_SANITIZE=1 or Simulator(sanitize=True))"
+            )
+        return self.sanitizer.digest.hexdigest()
 
     @property
     def pending_events(self) -> int:

@@ -236,6 +236,11 @@ class Link:
         if self.fault_injector is not None and self.fault_injector.should_drop(packet):
             self.stats.packets_dropped += 1
             self._tel_drops.inc()
+            # The wire consumed the packet: return pooled shells to their
+            # free-list (TCP segments have no release and fall through).
+            release = getattr(packet, "release", None)
+            if release is not None:
+                release()
         else:
             self.stats.record(packet)
             self._tel_tx_packets.inc()
@@ -364,6 +369,11 @@ class Switch:
         if egress is None:
             self.packets_unroutable += 1
             self._tel_unroutable.inc()
+            # Terminal consumption: an unroutable pooled packet goes back
+            # to its free-list instead of leaking.
+            release = getattr(packet, "release", None)
+            if release is not None:
+                release()
             return
         self.packets_forwarded += 1
         self._tel_forwarded.inc()

@@ -100,11 +100,15 @@ class Testbed:
         propagation_delay_ns: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
         telemetry: Optional[Telemetry] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         # Telemetry must be attached before any Link/NIC/engine is built
         # so components cache live instruments; fall back to the
         # process-wide active telemetry (``repro.telemetry.activate``).
-        self.sim = Simulator(telemetry=telemetry or _telemetry.current())
+        # ``sanitize=None`` defers to the REPRO_SANITIZE environment flag.
+        self.sim = Simulator(
+            telemetry=telemetry or _telemetry.current(), sanitize=sanitize
+        )
         self.seed = seed
         self.cost = cost or CostModel()
         self.bandwidth_gbps = bandwidth_gbps or self.cost.link_bandwidth_gbps

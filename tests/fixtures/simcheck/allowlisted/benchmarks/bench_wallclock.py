@@ -1,0 +1,10 @@
+"""Fixture: under benchmarks/ -> SIM001 allowlisted."""
+
+import time
+
+
+def bench(fn, repeats):
+    start = time.perf_counter()  # allowlisted: no SIM001
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start

@@ -1,0 +1,24 @@
+"""Fixture: fully compliant sim code — zero findings expected."""
+
+import random
+
+
+class Engine:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self._probe = None
+
+    def start(self, sim):
+        self._probe = sim.call_after_cancellable(5.0, self.tick)
+
+    def stop(self):
+        if self._probe is not None:
+            self._probe.cancel()
+
+    def tick(self):
+        return self.rng.random()
+
+
+def arm_sorted(sim, hosts):
+    for host in sorted(hosts):
+        sim.call_at(1.0, host)

@@ -1,0 +1,11 @@
+"""Fixture: SIM001 — wall-clock reads in sim-path code."""
+
+import time
+from datetime import datetime
+
+
+def elapsed():
+    start = time.time()  # SIM001
+    mid = time.monotonic()  # SIM001
+    stamp = datetime.now()  # SIM001 (argless)
+    return start, mid, stamp

@@ -1,0 +1,11 @@
+"""Fixture: SIM002 — unseeded randomness."""
+
+import random
+
+
+def roll():
+    jitter = random.random()  # SIM002: shared module-level RNG
+    rng = random.Random()  # SIM002: no seed
+    choice = random.choice([1, 2, 3])  # SIM002: shared module-level RNG
+    seeded = random.Random(42)  # OK
+    return jitter, rng, choice, seeded

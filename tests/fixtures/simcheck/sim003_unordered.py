@@ -1,0 +1,10 @@
+"""Fixture: SIM003 — scheduling from unordered iteration."""
+
+
+def arm_all(sim, hosts, table):
+    for host in set(hosts):  # SIM003
+        sim.call_at(1.0, host.tick)
+    for key in table.keys():  # SIM003 (dict view, conservative)
+        sim.schedule(key)
+    for host in sorted(hosts):  # OK: deterministic order
+        sim.call_at(2.0, host.tick)

@@ -1,0 +1,21 @@
+"""Fixture: SIM004 — cancellable tokens nobody can cancel."""
+
+
+class LeakyEngine:
+    def start(self, sim):
+        self._probe = sim.call_after_cancellable(5.0, self._tick)  # SIM004
+        sim.call_at_cancellable(9.0, self._tick)  # SIM004: discarded
+
+    def _tick(self):
+        pass
+
+
+class CleanEngine:
+    def start(self, sim):
+        self._probe = sim.call_after_cancellable(5.0, self._tick)  # OK
+
+    def stop(self):
+        self._probe.cancel()
+
+    def _tick(self):
+        pass

@@ -1,0 +1,19 @@
+"""Fixture: SIM005 — pool acquire with no release in the class."""
+
+
+class LeakySender:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def send(self, bth):
+        packet = self.pool.acquire("a", "b", bth)  # SIM005
+        return packet
+
+
+class CleanSender:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def send(self, bth):
+        packet = self.pool.acquire("a", "b", bth)  # OK: released below
+        self.pool.release(packet)

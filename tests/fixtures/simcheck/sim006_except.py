@@ -1,0 +1,27 @@
+"""Fixture: SIM006 — broad handlers that swallow simulation errors."""
+
+
+def swallow(run):
+    try:
+        run()
+    except Exception:  # SIM006: no re-raise, nothing bound
+        pass
+    try:
+        run()
+    except:  # noqa: E722  # SIM006: bare except, no re-raise
+        pass
+
+
+def fine(run, log):
+    try:
+        run()
+    except Exception as exc:  # OK: exception is used
+        log(exc)
+    try:
+        run()
+    except:  # noqa: E722  # OK: re-raises
+        raise
+    try:
+        run()
+    except ValueError:  # OK: specific
+        pass

@@ -1,0 +1,19 @@
+"""Fixture: every violation carries an inline suppression -> clean."""
+
+import random
+import time
+
+
+def measured():
+    start = time.time()  # simcheck: ignore[SIM001]
+    jitter = random.random()  # simcheck: ignore
+    rng = random.Random()  # simcheck: ignore[SIM002, SIM001]
+    return start, jitter, rng
+
+
+class Suppressed:
+    def start(self, sim):
+        self._tok = sim.call_after_cancellable(1.0, self.tick)  # simcheck: ignore[SIM004]
+
+    def tick(self):
+        pass
